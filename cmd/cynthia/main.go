@@ -1,0 +1,127 @@
+// Command cynthia is the provisioning CLI: given a Table 1 workload, a
+// training deadline, and a target loss, it profiles the workload on a
+// baseline worker, computes the cost-efficient provisioning plan
+// (Algorithm 1), and optionally validates the plan in the training
+// simulator.
+//
+// Usage:
+//
+//	cynthia -workload "cifar10 DNN" -deadline 5400 -loss 0.8 [-predictor cynthia|paleo] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cynthia/internal/baseline"
+	"cynthia/internal/cloud"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+	"cynthia/internal/plan"
+	"cynthia/internal/profile"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "cifar10 DNN", "Table 1 workload name")
+		workloadFile = flag.String("workload-file", "", "JSON file describing a custom workload (overrides -workload)")
+		deadline     = flag.Float64("deadline", 5400, "training deadline in seconds")
+		lossTarget   = flag.Float64("loss", 0.8, "target training loss")
+		baseName     = flag.String("baseline", cloud.M4XLarge, "profiling baseline instance type")
+		predictor    = flag.String("predictor", "cynthia", "performance model: cynthia, optimus, or paleo")
+		validate     = flag.Bool("validate", false, "simulate the plan and report the actual training time")
+		list         = flag.Bool("list", false, "list available workloads and instance types")
+	)
+	flag.Parse()
+	if err := run(*workloadName, *workloadFile, *deadline, *lossTarget, *baseName, *predictor, *validate, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "cynthia:", err)
+		os.Exit(1)
+	}
+}
+
+func loadWorkload(name, file string) (*model.Workload, error) {
+	if file == "" {
+		return model.WorkloadByName(name)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.ReadWorkload(f)
+}
+
+func run(workloadName, workloadFile string, deadline, lossTarget float64, baseName, predictorName string, validate, list bool) error {
+	catalog := cloud.DefaultCatalog()
+	if list {
+		fmt.Println("workloads:")
+		for _, w := range model.Workloads() {
+			fmt.Printf("  %-12s %s, batch %d, %d iterations\n", w.Name, w.Sync, w.Batch, w.Iterations)
+		}
+		fmt.Println("instance types:")
+		for _, t := range catalog.Types() {
+			fmt.Printf("  %s\n", t)
+		}
+		return nil
+	}
+
+	w, err := loadWorkload(workloadName, workloadFile)
+	if err != nil {
+		return err
+	}
+	base, err := catalog.Lookup(baseName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("profiling %s for %d iterations on one %s worker...\n", w.Name, profile.DefaultIterations, base.Name)
+	rep, err := profile.Run(w, base, 0)
+	if err != nil {
+		return err
+	}
+	p := rep.Profile
+	fmt.Printf("  witer=%.2f GFLOPs  gparam=%.2f MB  cprof=%.3f GFLOPS  bprof=%.2f MB/s  (%.1fs profiling)\n",
+		p.WiterGFLOPs, p.GparamMB, p.CprofGFLOPS, p.BprofMBps, rep.Duration)
+
+	var pred perf.Predictor
+	switch predictorName {
+	case "cynthia":
+		pred = perf.Cynthia{}
+	case "paleo":
+		pred = baseline.Paleo{}
+	case "optimus":
+		opt, err := baseline.FitFromSimulator(w, base)
+		if err != nil {
+			return err
+		}
+		pred = opt
+	default:
+		return fmt.Errorf("unknown predictor %q", predictorName)
+	}
+
+	goal := plan.Goal{TimeSec: deadline, LossTarget: lossTarget}
+	pl, err := plan.Provision(plan.Request{Profile: p, Goal: goal, Predictor: pred, Catalog: catalog})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan [%s]: %s\n", pred.Name(), pl)
+
+	if validate {
+		fmt.Println("validating in the simulator...")
+		res, err := ddnnsim.Run(w, cloud.Homogeneous(pl.Type, pl.Workers, pl.PS),
+			ddnnsim.Options{Iterations: pl.Iterations, LossEvery: pl.Iterations})
+		if err != nil {
+			return err
+		}
+		status := "met"
+		if res.TrainingTime > goal.TimeSec {
+			status = "MISSED"
+		}
+		fmt.Printf("  actual: %.0fs (goal %.0fs, %s), final loss %.3f, cost $%.3f\n",
+			res.TrainingTime, goal.TimeSec, status, res.FinalLoss,
+			pl.Type.PricePerHour*float64(pl.Workers+pl.PS)*res.TrainingTime/3600)
+	}
+	return nil
+}

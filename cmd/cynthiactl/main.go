@@ -1,0 +1,112 @@
+// Command cynthiactl is the kubectl-style client for cmd/master.
+//
+// Usage:
+//
+//	cynthiactl [-server 127.0.0.1:8080] get nodes
+//	cynthiactl get pods [jobID]
+//	cynthiactl get jobs
+//	cynthiactl get job <id>
+//	cynthiactl submit -workload "cifar10 DNN" -deadline 5400 -loss 0.8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:8080", "master address")
+	flag.Parse()
+	args := flag.Args()
+	if err := run(*server, args); err != nil {
+		fmt.Fprintln(os.Stderr, "cynthiactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server string, args []string) error {
+	base := "http://" + server
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cynthiactl [get nodes|get pods|get jobs|get job <id>|submit ...]")
+	}
+	switch args[0] {
+	case "get":
+		if len(args) < 2 {
+			return fmt.Errorf("get what? nodes, pods, jobs, or job <id>")
+		}
+		switch args[1] {
+		case "nodes":
+			return pretty(base + "/api/nodes")
+		case "pods":
+			u := base + "/api/pods"
+			if len(args) > 2 {
+				u += "?job=" + url.QueryEscape(args[2])
+			}
+			return pretty(u)
+		case "jobs":
+			return pretty(base + "/api/jobs")
+		case "job":
+			if len(args) < 3 {
+				return fmt.Errorf("get job <id>")
+			}
+			return pretty(base + "/api/jobs/" + url.PathEscape(args[2]))
+		default:
+			return fmt.Errorf("unknown resource %q", args[1])
+		}
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+		workload := fs.String("workload", "cifar10 DNN", "workload name")
+		deadline := fs.Float64("deadline", 5400, "deadline in seconds")
+		lossTarget := fs.Float64("loss", 0.8, "target loss")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		body, err := json.Marshal(map[string]any{
+			"workload":     *workload,
+			"deadline_sec": *deadline,
+			"loss_target":  *lossTarget,
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(base+"/api/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return dump(resp)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func pretty(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return dump(resp)
+}
+
+func dump(resp *http.Response) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if json.Indent(&buf, raw, "", "  ") == nil {
+		raw = buf.Bytes()
+	}
+	fmt.Printf("%s\n", raw)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+)
+
+func startMaster(t *testing.T) string {
+	t.Helper()
+	master, err := cluster.NewMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := cloud.NewProvider(cloud.DefaultCatalog(), nil)
+	controller := cluster.NewController(master, provider, nil, "")
+	srv := httptest.NewServer(cluster.NewAPI(master, controller).Handler())
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestGetResources(t *testing.T) {
+	addr := startMaster(t)
+	for _, args := range [][]string{
+		{"get", "nodes"},
+		{"get", "pods"},
+		{"get", "jobs"},
+	} {
+		if err := run(addr, args); err != nil {
+			t.Errorf("%v failed: %v", args, err)
+		}
+	}
+}
+
+func TestSubmitAndGetJob(t *testing.T) {
+	addr := startMaster(t)
+	if err := run(addr, []string{"submit", "-workload", "mnist DNN", "-deadline", "1800", "-loss", "0.2"}); err != nil {
+		t.Fatalf("submit failed: %v", err)
+	}
+	if err := run(addr, []string{"get", "job", "job-1"}); err != nil {
+		t.Errorf("get job failed: %v", err)
+	}
+	if err := run(addr, []string{"get", "pods", "job-1"}); err != nil {
+		t.Errorf("get pods with filter failed: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	addr := startMaster(t)
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"get"},
+		{"get", "quota"},
+		{"get", "job"},
+	}
+	for _, args := range cases {
+		if err := run(addr, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Server-side error surfaces as a CLI error.
+	if err := run(addr, []string{"get", "job", "ghost"}); err == nil {
+		t.Error("missing job did not error")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 100, 1, false, true); err != nil {
+		t.Fatalf("basic run failed: %v", err)
+	}
+}
+
+func TestRunWithStragglersAndTrace(t *testing.T) {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", true, 100, 1, true, false); err != nil {
+		t.Fatalf("straggler+trace run failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("NoSuchNet", 4, 1, "m4.xlarge", false, 10, 1, false, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("mnist DNN", 4, 1, "z9.huge", false, 10, 1, false, false); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run("mnist DNN", 0, 1, "m4.xlarge", false, 10, 1, false, false); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                # run everything at full scale
+//	experiments -scale 0.1     # 10x shorter runs
+//	experiments -only figure6  # one experiment
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cynthia/internal/experiments"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1.0, "iteration-budget scale factor (1.0 = paper scale)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		only   = flag.String("only", "", "run a single experiment id")
+		list   = flag.Bool("list", false, "list experiment ids")
+		format = flag.String("format", "text", "output format: text, csv, or json")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	var (
+		tables []*experiments.Table
+		err    error
+	)
+	if *only != "" {
+		tables, err = experiments.Run(*only, cfg)
+	} else {
+		tables, err = experiments.RunAll(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteAll(os.Stdout, tables, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

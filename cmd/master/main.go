@@ -1,0 +1,53 @@
+// Command master runs the Cynthia control plane: the Kubernetes-like
+// master with its HTTP API, wired to the simulated cloud provider.
+//
+// Usage:
+//
+//	master -addr 127.0.0.1:8080 [-gpu]
+//
+// Then drive it with cmd/cynthiactl or curl:
+//
+//	curl -X POST 127.0.0.1:8080/api/jobs \
+//	  -d '{"workload": "cifar10 DNN", "deadline_sec": 5400, "loss_target": 0.8}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		gpu  = flag.Bool("gpu", false, "use the extended CPU+GPU catalog")
+	)
+	flag.Parse()
+	if err := run(*addr, *gpu); err != nil {
+		fmt.Fprintln(os.Stderr, "master:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, gpu bool) error {
+	master, err := cluster.NewMaster()
+	if err != nil {
+		return err
+	}
+	catalog := cloud.DefaultCatalog()
+	if gpu {
+		catalog = cloud.ExtendedCatalog()
+	}
+	provider := cloud.NewProvider(catalog, nil)
+	controller := cluster.NewController(master, provider, nil, "")
+	api := cluster.NewAPI(master, controller)
+
+	token, caHash := master.JoinCredentials()
+	fmt.Printf("master: listening on %s (%d instance types)\n", addr, catalog.Len())
+	fmt.Printf("master: nodes join with token %s, CA hash %s...\n", token, caHash[:23])
+	return http.ListenAndServe(addr, api.Handler())
+}

@@ -1,0 +1,120 @@
+// Command psserver runs one real parameter-server shard over TCP.
+//
+// The shard owns slice k of the flat parameter vector of an MLP with the
+// given layer sizes; workers (cmd/psworker) connect, push gradients, and
+// pull parameters. BSP mode barriers each round across -workers workers;
+// ASP applies every push immediately.
+//
+// Usage:
+//
+//	psserver -addr :7070 -sizes 784,512,512,10 -shard 0 -shards 2 -workers 4 -sync bsp -lr 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"cynthia/internal/model"
+	"cynthia/internal/nn"
+	"cynthia/internal/ps"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		sizes     = flag.String("sizes", "784,512,512,10", "comma-separated MLP layer sizes")
+		shard     = flag.Int("shard", 0, "this shard's index")
+		shards    = flag.Int("shards", 1, "total number of shards")
+		workers   = flag.Int("workers", 1, "number of workers (BSP barrier width)")
+		sync      = flag.String("sync", "bsp", "synchronization: bsp or asp")
+		lr        = flag.Float64("lr", 0.1, "learning rate")
+		optimizer = flag.String("optimizer", "sgd", "update rule: sgd, momentum, or adam")
+		staleness = flag.Int("staleness", 0, "SSP staleness bound for asp (0 = unbounded)")
+		seed      = flag.Int64("seed", 1, "parameter initialization seed (must match workers)")
+	)
+	flag.Parse()
+	if err := run(*addr, *sizes, *shard, *shards, *workers, *sync, *optimizer, *staleness, *lr, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "psserver:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad layer size %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName string, staleness int, lr float64, seed int64) error {
+	sizes, err := parseSizes(sizesStr)
+	if err != nil {
+		return err
+	}
+	var mode model.SyncMode
+	switch strings.ToLower(syncStr) {
+	case "bsp":
+		mode = model.BSP
+	case "asp":
+		mode = model.ASP
+	default:
+		return fmt.Errorf("unknown sync mode %q", syncStr)
+	}
+	if shard < 0 || shard >= shards {
+		return fmt.Errorf("shard %d out of range [0,%d)", shard, shards)
+	}
+	// Initialize the full parameter vector from the shared seed and carve
+	// out this shard.
+	ref, err := nn.NewMLP(sizes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	flat := make([]float64, ref.NumParams())
+	if err := ref.FlattenParams(flat); err != nil {
+		return err
+	}
+	lo, hi := ps.ShardRange(ref.NumParams(), shard, shards)
+
+	opt, err := ps.NewOptimizer(optName, lr)
+	if err != nil {
+		return err
+	}
+	srv, err := ps.NewServer(ps.ServerConfig{
+		Init:         flat[lo:hi],
+		Sync:         mode,
+		Workers:      workers,
+		LR:           lr,
+		Optimizer:    opt,
+		MaxStaleness: staleness,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("psserver: shard %d/%d (%d params) listening on %s, %s, %d workers, lr=%g\n",
+		shard, shards, hi-lo, bound, mode, workers, lr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	stats := srv.Stats()
+	srv.Close()
+	fmt.Printf("psserver: shutting down after %d pushes, %d applies, %d bytes in, %d bytes out\n",
+		stats.Pushes, stats.Applies, stats.BytesIn, stats.BytesOut)
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("784, 512,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 784 || got[2] != 10 {
+		t.Errorf("parseSizes = %v", got)
+	}
+	if _, err := parseSizes("784,abc"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("127.0.0.1:0", "784,10", 2, 2, 1, "bsp", "sgd", 0, 0.1, 1); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "ssp", "sgd", 0, 0.1, 1); err == nil {
+		t.Error("unknown sync accepted")
+	}
+	if err := run("127.0.0.1:0", "bad", 0, 1, 1, "bsp", "sgd", 0, 0.1, 1); err == nil {
+		t.Error("bad sizes accepted")
+	}
+}
+
+func TestRunRejectsBadOptimizer(t *testing.T) {
+	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "bsp", "lamb", 0, 0.1, 1); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+}

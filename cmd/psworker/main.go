@@ -1,0 +1,92 @@
+// Command psworker runs one real training worker against psserver shards.
+//
+// The worker trains an MLP on synthetic data (its interleaved shard of a
+// shared dataset), pushing gradients to and pulling parameters from every
+// shard each iteration.
+//
+// Usage:
+//
+//	psworker -servers 127.0.0.1:7070,127.0.0.1:7071 -id 0 -workers 4 \
+//	         -sizes 784,512,512,10 -iterations 200 -batch 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cynthia/internal/data"
+	"cynthia/internal/nn"
+	"cynthia/internal/ps"
+)
+
+func main() {
+	var (
+		servers    = flag.String("servers", "127.0.0.1:7070", "comma-separated PS shard addresses")
+		id         = flag.Int("id", 0, "worker id")
+		workers    = flag.Int("workers", 1, "total number of workers (for data sharding)")
+		sizes      = flag.String("sizes", "784,512,512,10", "comma-separated MLP layer sizes")
+		iterations = flag.Int("iterations", 200, "local iterations")
+		batch      = flag.Int("batch", 64, "mini-batch size")
+		samples    = flag.Int("samples", 4096, "synthetic dataset size")
+		dataSeed   = flag.Int64("data-seed", 42, "dataset seed (must match across workers)")
+		seed       = flag.Int64("seed", 1, "model init seed (must match psserver)")
+	)
+	flag.Parse()
+	if err := run(*servers, *id, *workers, *sizes, *iterations, *batch, *samples, *dataSeed, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "psworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(servers string, id, workers int, sizesStr string, iterations, batch, samples int, dataSeed, seed int64) error {
+	var sizes []int
+	for _, p := range strings.Split(sizesStr, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("bad layer size %q: %w", p, err)
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) < 2 {
+		return fmt.Errorf("need at least input and output sizes")
+	}
+	full, err := data.Synthetic(rand.New(rand.NewSource(dataSeed)), samples, sizes[0], sizes[len(sizes)-1], 4.0)
+	if err != nil {
+		return err
+	}
+	shard, err := full.Shard(id, workers)
+	if err != nil {
+		return err
+	}
+	replica, err := nn.NewMLP(sizes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	stats, err := ps.RunWorker(ps.WorkerConfig{
+		ID:         id,
+		Servers:    strings.Split(servers, ","),
+		Model:      replica,
+		Train:      shard,
+		Batch:      batch,
+		Iterations: iterations,
+		Seed:       seed + int64(id)*7919,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	first, last := stats.Losses[0], stats.Losses[len(stats.Losses)-1]
+	fmt.Printf("psworker %d: %d iterations in %s (%.1f ms/iter)\n",
+		id, stats.Iterations, elapsed.Round(time.Millisecond),
+		float64(elapsed.Milliseconds())/float64(stats.Iterations))
+	fmt.Printf("  loss %.4f -> %.4f, %d bytes sent, %d bytes received\n",
+		first, last, stats.BytesSent, stats.BytesReceived)
+	fmt.Printf("  final shard accuracy: %.1f%%\n", replica.Accuracy(shard.X, shard.Labels)*100)
+	return nil
+}

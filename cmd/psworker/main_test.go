@@ -1,0 +1,54 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"cynthia/internal/model"
+	"cynthia/internal/nn"
+	"cynthia/internal/ps"
+)
+
+// startShard brings up one real PS shard covering the full parameter
+// vector of the worker's model configuration.
+func startShard(t *testing.T, sizes []int, workers int, sync model.SyncMode, seed int64) string {
+	t.Helper()
+	ref, err := nn.NewMLP(sizes, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]float64, ref.NumParams())
+	if err := ref.FlattenParams(flat); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ps.NewServer(ps.ServerConfig{Init: flat, Sync: sync, Workers: workers, LR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr
+}
+
+func TestWorkerRunsAgainstRealShard(t *testing.T) {
+	sizes := []int{16, 8, 4}
+	addr := startShard(t, sizes, 1, model.ASP, 3)
+	if err := run(addr, 0, 1, "16,8,4", 20, 16, 256, 11, 3); err != nil {
+		t.Fatalf("worker run failed: %v", err)
+	}
+}
+
+func TestWorkerRunValidation(t *testing.T) {
+	if err := run("127.0.0.1:1", 0, 1, "bad", 10, 8, 64, 1, 1); err == nil {
+		t.Error("bad sizes accepted")
+	}
+	if err := run("127.0.0.1:1", 0, 1, "16", 10, 8, 64, 1, 1); err == nil {
+		t.Error("single layer accepted")
+	}
+	if err := run("127.0.0.1:1", 0, 1, "16,4", 10, 8, 64, 1, 1); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad integer accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run("mnist DNN", "m4.xlarge", "1,2", "1", 60, 2, 1); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	if err := run("NoSuchNet", "m4.xlarge", "1", "1", 10, 1, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("mnist DNN", "z9.huge", "1", "1", 10, 1, 1); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run("mnist DNN", "m4.xlarge", "x", "1", 10, 1, 1); err == nil {
+		t.Error("bad workers accepted")
+	}
+	if err := run("mnist DNN", "m4.xlarge", "1", "y", 10, 1, 1); err == nil {
+		t.Error("bad ps accepted")
+	}
+}

@@ -1,0 +1,24 @@
+// Package cynthia is a full reproduction of "Cynthia: Cost-Efficient
+// Cloud Resource Provisioning for Predictable Distributed Deep Neural
+// Network Training" (ICPP 2019).
+//
+// The library lives under internal/ and cmd/:
+//
+//   - internal/perf, internal/loss, internal/plan — the paper's
+//     contribution: the analytical performance model (Sec. 3), the Eq. (1)
+//     loss model, and the Algorithm 1 provisioner (Sec. 4);
+//   - internal/flow, internal/ddnnsim — a flow-level discrete-event
+//     simulator of PS-architecture training, standing in for the paper's
+//     EC2 testbed;
+//   - internal/cloud, internal/cluster — the simulated IaaS provider and
+//     the Kubernetes-like control plane of the prototype;
+//   - internal/tensor, internal/nn, internal/data, internal/ps — a real
+//     parameter-server training framework over TCP;
+//   - internal/baseline — the Optimus and Paleo comparators;
+//   - internal/experiments — regenerates every table and figure of the
+//     paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each experiment.
+package cynthia

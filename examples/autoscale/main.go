@@ -1,0 +1,58 @@
+// Autoscale: the full prototype loop on the Kubernetes-like control plane.
+//
+// A controller receives training jobs with (deadline, loss) goals,
+// profiles each workload once, provisions instances from the simulated
+// cloud, joins them to the master with a kubeadm-style token, schedules
+// worker/PS pods, runs the training, and tears the cluster down —
+// reporting whether each goal was met and what it cost.
+//
+// Run with: go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+func main() {
+	master, err := cluster.NewMaster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	token, caHash := master.JoinCredentials()
+	fmt.Printf("master up; nodes join with:\n  kubeadm join --token %s --discovery-token-ca-cert-hash %s\n\n",
+		token, caHash[:23]+"...")
+
+	provider := cloud.NewProvider(cloud.DefaultCatalog(), nil)
+	controller := cluster.NewController(master, provider, nil, "")
+
+	jobs := []struct {
+		workload string
+		goal     plan.Goal
+	}{
+		{"cifar10 DNN", plan.Goal{TimeSec: 5400, LossTarget: 0.8}},
+		{"ResNet-32", plan.Goal{TimeSec: 7200, LossTarget: 0.6}},
+		{"VGG-19", plan.Goal{TimeSec: 3600, LossTarget: 0.8}},
+	}
+	for _, spec := range jobs {
+		w, err := model.WorkloadByName(spec.workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err := controller.Submit(w, spec.goal)
+		if err != nil {
+			log.Fatalf("job for %s failed: %v", spec.workload, err)
+		}
+		fmt.Printf("%s  goal %.0fs/loss %.2f\n", job.ID, spec.goal.TimeSec, spec.goal.LossTarget)
+		fmt.Printf("  plan:   %s\n", job.Plan)
+		fmt.Printf("  result: %s in %.0fs, final loss %.3f, cost $%.3f\n\n",
+			job.Status, job.TrainingTime, job.FinalLoss, job.Cost)
+	}
+	fmt.Printf("cloud bill so far: $%.3f; running instances: %d\n",
+		provider.Bill(), provider.RunningCount(""))
+}

@@ -1,0 +1,76 @@
+// Heterogeneous: the straggler study of the paper's Sec. 2, plus what the
+// Cynthia model predicts for it.
+//
+// Trains the mnist DNN (BSP) and ResNet-32 (ASP) on homogeneous m4.xlarge
+// clusters and on clusters where half the workers are m1.xlarge
+// stragglers, then shows the Cynthia model predicting both — including the
+// counter-intuitive effect that once the PS bottlenecks, stragglers stop
+// mattering for BSP (paper Fig. 1(b)).
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+)
+
+func main() {
+	catalog := cloud.DefaultCatalog()
+	m4, err := catalog.Lookup(cloud.M4XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m1, err := catalog.Lookup(cloud.M1XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cases := []struct {
+		workload string
+		workers  []int
+		iters    int
+	}{
+		{"mnist DNN", []int{2, 4, 8}, 1000},
+		{"ResNet-32", []int{4, 8}, 80},
+	}
+	var cynthia perf.Cynthia
+	for _, c := range cases {
+		w, err := model.WorkloadByName(c.workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := perf.SyntheticProfile(w, m4)
+		fmt.Printf("%s (%s), %d iterations\n", w.Name, w.Sync, c.iters)
+		fmt.Printf("  %-8s %-12s %-12s %-10s %-12s %s\n",
+			"workers", "homo(s)", "hetero(s)", "slowdown", "predicted(s)", "pred err")
+		for _, n := range c.workers {
+			homo, err := ddnnsim.Run(w, cloud.Homogeneous(m4, n, 1),
+				ddnnsim.Options{Iterations: c.iters, LossEvery: c.iters})
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec := cloud.Heterogeneous(m4, m1, n, 1)
+			het, err := ddnnsim.Run(w, spec, ddnnsim.Options{Iterations: c.iters, LossEvery: c.iters})
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred, err := cynthia.TrainingTime(p, spec, c.iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8d %-12.1f %-12.1f %-10.2f %-12.1f %.1f%%\n",
+				n, homo.TrainingTime, het.TrainingTime,
+				het.TrainingTime/homo.TrainingTime, pred,
+				perf.PredictionError(pred, het.TrainingTime)*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note: mnist at 8 workers shows stragglers ~not mattering — the PS is")
+	fmt.Println("the bottleneck either way (paper Fig. 1(b) and Table 2).")
+}

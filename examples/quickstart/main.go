@@ -1,0 +1,59 @@
+// Quickstart: the full Cynthia pipeline in ~40 lines.
+//
+//  1. Pick a Table 1 workload (cifar10 DNN, BSP).
+//  2. Profile it for 30 iterations on one baseline m4.xlarge worker.
+//  3. Ask the provisioner for the cheapest cluster that reaches loss 0.8
+//     within 90 minutes.
+//  4. Validate the plan by simulating the training run.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+	"cynthia/internal/profile"
+)
+
+func main() {
+	workload, err := model.WorkloadByName("cifar10 DNN")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: lightweight profiling (paper Sec. 3).
+	report, err := profile.Run(workload, baseline, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := report.Profile
+	fmt.Printf("profiled %s in %.0fs: witer=%.1f GFLOPs, gparam=%.1f MB\n",
+		workload.Name, report.Duration, p.WiterGFLOPs, p.GparamMB)
+
+	// Step 2: provision for a goal (paper Sec. 4, Algorithm 1).
+	goal := plan.Goal{TimeSec: 5400, LossTarget: 0.8}
+	pl, err := plan.Provision(plan.Request{Profile: p, Goal: goal})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", pl)
+
+	// Step 3: validate by simulation.
+	res, err := ddnnsim.Run(workload, cloud.Homogeneous(pl.Type, pl.Workers, pl.PS),
+		ddnnsim.Options{Iterations: pl.Iterations, LossEvery: pl.Iterations})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %.0fs (goal %.0fs), final loss %.3f, cost $%.3f\n",
+		res.TrainingTime, goal.TimeSec, res.FinalLoss,
+		pl.Type.PricePerHour*float64(pl.Workers+pl.PS)*res.TrainingTime/3600)
+}

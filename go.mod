@@ -1,0 +1,3 @@
+module cynthia
+
+go 1.22

@@ -1,0 +1,97 @@
+package cynthia_test
+
+// Whole-stack integration test: the complete Cynthia pipeline, from raw
+// profiling through loss fitting, provisioning, and cluster execution —
+// asserting each stage against the next, the way the prototype runs it
+// (paper Sec. 5, "Cynthia prototype").
+
+import (
+	"math"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/loss"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+	"cynthia/internal/plan"
+	"cynthia/internal/profile"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	catalog := cloud.DefaultCatalog()
+	m4, err := catalog.Lookup(cloud.M4XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload, err := model.WorkloadByName("cifar10 DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 1 — profile once on a baseline worker (Sec. 3).
+	rep, err := profile.Run(workload, m4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := rep.Profile
+	if rel := math.Abs(prof.WiterGFLOPs-workload.WiterGFLOPs) / workload.WiterGFLOPs; rel > 0.05 {
+		t.Fatalf("stage 1: profiled witer off by %.1f%%", rel*100)
+	}
+
+	// Stage 2 — fit the loss model from an observed curve (Sec. 2).
+	obsRun, err := ddnnsim.Run(workload, cloud.Homogeneous(m4, 4, 1),
+		ddnnsim.Options{Iterations: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, r2, err := loss.Fit(workload.Sync, loss.PointsFromResult(obsRun, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9 {
+		t.Fatalf("stage 2: loss fit R² = %.3f", r2)
+	}
+	// Use the FITTED coefficients for planning, as a user would.
+	planning := *workload
+	planning.Loss = fitted
+	prof2 := *prof
+	prof2.Workload = &planning
+
+	// Stage 3 — provision for a goal (Sec. 4).
+	goal := plan.Goal{TimeSec: 5400, LossTarget: 0.8}
+	p, err := plan.Provision(plan.Request{Profile: &prof2, Goal: goal, Catalog: catalog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible {
+		t.Fatalf("stage 3: plan infeasible: %v", p)
+	}
+
+	// Stage 4 — execute through the control plane and check the goal.
+	master, err := cluster.NewMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := cloud.NewProvider(catalog, nil)
+	ctl := cluster.NewController(master, provider, perf.Cynthia{}, cloud.M4XLarge)
+	job, err := ctl.Submit(&planning, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != cluster.StatusSucceeded {
+		t.Fatalf("stage 4: job %s (%s)", job.Status, job.Err)
+	}
+	if job.TrainingTime > goal.TimeSec*1.05 {
+		t.Fatalf("stage 4: %0.fs misses the %.0fs goal", job.TrainingTime, goal.TimeSec)
+	}
+	// The achieved loss hits the target (within curve noise).
+	if job.FinalLoss > goal.LossTarget*1.1 {
+		t.Fatalf("stage 4: final loss %.3f above target %.2f", job.FinalLoss, goal.LossTarget)
+	}
+	// And nothing leaked.
+	if n := provider.RunningCount(""); n != 0 {
+		t.Fatalf("stage 4: %d instances leaked", n)
+	}
+}

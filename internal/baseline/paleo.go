@@ -1,0 +1,97 @@
+// Package baseline implements the two comparator performance models of the
+// paper's evaluation: Paleo (Qi et al., ICLR 2017) and Optimus (Peng et
+// al., EuroSys 2018). Both satisfy perf.Predictor, so the provisioner and
+// the experiment harness can swap them in for Cynthia.
+//
+// The models are implemented with the behaviours the paper attributes to
+// them: neither overlaps computation with communication for BSP (so they
+// overestimate overlapped BSP training time), and neither models resource
+// bottlenecks or contention on the PS (so they underestimate training time
+// once the PS saturates).
+package baseline
+
+import (
+	"fmt"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+)
+
+// Paleo is the analytical per-layer performance model: computation time is
+// derived from the layer graph's FLOP counts and the device speed, and
+// communication time from the parameter volume and the network bandwidth,
+// summed without overlap and without any bottleneck model.
+type Paleo struct{}
+
+// Name implements perf.Predictor.
+func (Paleo) Name() string { return "Paleo" }
+
+// layerGFLOPs returns the per-iteration work derived from the layer graph
+// (Paleo's defining feature), falling back to the profiled value for
+// workloads without an architecture description.
+func layerGFLOPs(p *perf.Profile) float64 {
+	w := p.Workload
+	if w.Net != nil {
+		if _, err := w.Net.Analyze(); err == nil {
+			return w.Net.IterGFLOPs(w.Batch)
+		}
+	}
+	return p.WiterGFLOPs
+}
+
+// layerParamMB returns gparam from the layer graph when available.
+func layerParamMB(p *perf.Profile) float64 {
+	if p.Workload.Net != nil {
+		if mb := p.Workload.Net.ParamMB(); mb > 0 {
+			return mb
+		}
+	}
+	return p.GparamMB
+}
+
+// IterTime implements perf.Predictor: tcomp + tcomm, unoverlapped,
+// bottleneck-oblivious.
+func (Paleo) IterTime(p *perf.Profile, cluster cloud.ClusterSpec) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if cluster.NumWorkers() < 1 || cluster.NumPS() < 1 {
+		return 0, fmt.Errorf("baseline: cluster needs >=1 worker and >=1 PS")
+	}
+	witer := layerGFLOPs(p)
+	syncMB := 2 * layerParamMB(p)
+	bsup := cluster.TotalPSNetMBps()
+	n := cluster.NumWorkers()
+
+	switch p.Workload.Sync {
+	case model.ASP:
+		sumRate := 0.0
+		for _, w := range cluster.Workers {
+			titer := witer/w.GFLOPS + syncMB/bsup
+			sumRate += 1 / titer
+		}
+		return float64(n) / sumRate, nil
+	default:
+		tcomp := witer / (float64(n) * cluster.MinWorkerGFLOPS())
+		tcomm := syncMB * float64(n) / bsup
+		return tcomp + tcomm, nil
+	}
+}
+
+// TrainingTime implements perf.Predictor.
+func (pl Paleo) TrainingTime(p *perf.Profile, cluster cloud.ClusterSpec, iters int) (float64, error) {
+	if iters <= 0 {
+		return 0, fmt.Errorf("baseline: iteration count %d must be positive", iters)
+	}
+	titer, err := pl.IterTime(p, cluster)
+	if err != nil {
+		return 0, err
+	}
+	if p.Workload.Sync == model.ASP {
+		return float64(iters) * titer / float64(cluster.NumWorkers()), nil
+	}
+	return float64(iters) * titer, nil
+}
+
+var _ perf.Predictor = Paleo{}

@@ -1,0 +1,56 @@
+package cloud
+
+// GPU instance support implements the paper's stated future work (Sec. 7:
+// "we plan to deploy Cynthia in the GPU cluster"). A GPU docker is modeled
+// exactly like a CPU docker — a service rate in GFLOPS and a NIC in MB/s —
+// which is all the Cynthia model consumes; what changes is the regime:
+// compute rates 2-3 orders of magnitude higher make nearly every workload
+// communication-bound, so the PS bottleneck dominates at small worker
+// counts and multi-PS (or bigger-NIC) provisioning matters much more.
+
+// GPU instance type names.
+const (
+	P2XLarge   = "p2.xlarge"
+	P3_2XLarge = "p3.2xlarge"
+	G3_4XLarge = "g3.4xlarge"
+)
+
+// GPUCatalog returns a catalog of 2019-era EC2 GPU instances. GFLOPS are
+// effective single-GPU DNN-training rates (well below theoretical peak),
+// NIC bandwidths reflect the larger instances' faster networking, and
+// prices are us-east-1 on-demand.
+func GPUCatalog() *Catalog {
+	c, err := NewCatalog(
+		InstanceType{
+			Name: P2XLarge, CPUModel: "NVIDIA K80",
+			GFLOPS: 950, NetMBps: 150, PricePerHour: 0.90,
+			VCPUs: 4, MemoryGiB: 61, Generation: 2,
+		},
+		InstanceType{
+			Name: P3_2XLarge, CPUModel: "NVIDIA V100",
+			GFLOPS: 3800, NetMBps: 1250, PricePerHour: 3.06,
+			VCPUs: 8, MemoryGiB: 61, Generation: 3,
+		},
+		InstanceType{
+			Name: G3_4XLarge, CPUModel: "NVIDIA M60",
+			GFLOPS: 1400, NetMBps: 625, PricePerHour: 1.14,
+			VCPUs: 16, MemoryGiB: 122, Generation: 3,
+		},
+	)
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return c
+}
+
+// ExtendedCatalog merges the CPU and GPU catalogs.
+func ExtendedCatalog() *Catalog {
+	var all []InstanceType
+	all = append(all, DefaultCatalog().Types()...)
+	all = append(all, GPUCatalog().Types()...)
+	c, err := NewCatalog(all...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,271 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// InstanceState is the lifecycle state of a simulated instance.
+type InstanceState int
+
+// Instance lifecycle states, mirroring the EC2 state machine.
+const (
+	StatePending InstanceState = iota
+	StateRunning
+	StateTerminated
+)
+
+// String implements fmt.Stringer.
+func (s InstanceState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("InstanceState(%d)", int(s))
+	}
+}
+
+// Instance is one provisioned machine.
+type Instance struct {
+	// ID is the provider-assigned identifier, e.g. "i-0000002a".
+	ID string
+	// Type is the catalog entry this instance was launched from.
+	Type InstanceType
+	// Tags are free-form key/value labels ("role" -> "worker").
+	Tags map[string]string
+	// State is the current lifecycle state.
+	State InstanceState
+	// LaunchedAt and TerminatedAt are provider-clock timestamps in
+	// seconds. TerminatedAt is meaningful only once State is
+	// StateTerminated.
+	LaunchedAt   float64
+	TerminatedAt float64
+}
+
+// Clock supplies the provider's notion of time in seconds. Simulations pass
+// the engine clock; real deployments pass wall time.
+type Clock func() float64
+
+// WallClock is a Clock reading the OS monotonic-ish wall time.
+func WallClock() Clock {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// ErrCapacity is returned by Launch when the provider cannot satisfy the
+// request within its configured per-type capacity limit.
+var ErrCapacity = errors.New("cloud: insufficient capacity")
+
+// Provider simulates an IaaS control plane with launch/terminate/describe
+// and per-second billing. It is safe for concurrent use.
+type Provider struct {
+	mu        sync.Mutex
+	catalog   *Catalog
+	clock     Clock
+	instances map[string]*Instance
+	nextID    int
+	limits    map[string]int // optional per-type capacity limits
+	running   map[string]int // running count per type
+}
+
+// NewProvider returns a provider over the given catalog using the given
+// clock. A nil clock defaults to a wall clock.
+func NewProvider(catalog *Catalog, clock Clock) *Provider {
+	if clock == nil {
+		clock = WallClock()
+	}
+	return &Provider{
+		catalog:   catalog,
+		clock:     clock,
+		instances: make(map[string]*Instance),
+		limits:    make(map[string]int),
+		running:   make(map[string]int),
+	}
+}
+
+// SetCapacityLimit caps the number of simultaneously running instances of
+// the given type. A limit of 0 removes the cap.
+func (p *Provider) SetCapacityLimit(typeName string, limit int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if limit <= 0 {
+		delete(p.limits, typeName)
+		return
+	}
+	p.limits[typeName] = limit
+}
+
+// Launch provisions count instances of the named type, applying the given
+// tags to each, and returns them in running state. It is atomic: on any
+// error no instances are created.
+func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([]*Instance, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("cloud: launch count %d must be positive", count)
+	}
+	t, err := p.catalog.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if limit, ok := p.limits[typeName]; ok && p.running[typeName]+count > limit {
+		return nil, fmt.Errorf("%w: %d running + %d requested > limit %d for %s",
+			ErrCapacity, p.running[typeName], count, limit, typeName)
+	}
+	now := p.clock()
+	out := make([]*Instance, 0, count)
+	for i := 0; i < count; i++ {
+		p.nextID++
+		inst := &Instance{
+			ID:         fmt.Sprintf("i-%08x", p.nextID),
+			Type:       t,
+			Tags:       copyTags(tags),
+			State:      StateRunning,
+			LaunchedAt: now,
+		}
+		p.instances[inst.ID] = inst
+		out = append(out, inst)
+	}
+	p.running[typeName] += count
+	return out, nil
+}
+
+// Terminate stops the instance with the given ID. Terminating an already
+// terminated instance is a no-op, as with EC2.
+func (p *Provider) Terminate(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok {
+		return fmt.Errorf("cloud: no such instance %q", id)
+	}
+	if inst.State == StateTerminated {
+		return nil
+	}
+	inst.State = StateTerminated
+	inst.TerminatedAt = p.clock()
+	p.running[inst.Type.Name]--
+	return nil
+}
+
+// TerminateAll terminates every running instance and returns how many were
+// stopped.
+func (p *Provider) TerminateAll() int {
+	p.mu.Lock()
+	ids := make([]string, 0, len(p.instances))
+	for id, inst := range p.instances {
+		if inst.State != StateTerminated {
+			ids = append(ids, id)
+		}
+	}
+	p.mu.Unlock()
+	for _, id := range ids {
+		_ = p.Terminate(id)
+	}
+	return len(ids)
+}
+
+// Describe returns a snapshot of the instance with the given ID.
+func (p *Provider) Describe(id string) (Instance, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok {
+		return Instance{}, fmt.Errorf("cloud: no such instance %q", id)
+	}
+	return snapshot(inst), nil
+}
+
+// List returns snapshots of all instances (any state) whose tags include
+// every entry of filter, sorted by ID. A nil filter matches everything.
+func (p *Provider) List(filter map[string]string) []Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Instance
+	for _, inst := range p.instances {
+		if matchTags(inst.Tags, filter) {
+			out = append(out, snapshot(inst))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RunningCount returns the number of running instances of the given type,
+// or of all types if typeName is empty.
+func (p *Provider) RunningCount(typeName string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if typeName != "" {
+		return p.running[typeName]
+	}
+	total := 0
+	for _, n := range p.running {
+		total += n
+	}
+	return total
+}
+
+// Bill returns the accumulated cost in USD across all instances, charging
+// per second of running time (terminated instances are charged up to their
+// termination instant, running ones up to now).
+func (p *Provider) Bill() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock()
+	total := 0.0
+	for _, inst := range p.instances {
+		end := now
+		if inst.State == StateTerminated {
+			end = inst.TerminatedAt
+		}
+		dur := end - inst.LaunchedAt
+		if dur < 0 {
+			dur = 0
+		}
+		total += dur / 3600 * inst.Type.PricePerHour
+	}
+	return total
+}
+
+// Catalog returns the provider's instance-type catalog.
+func (p *Provider) Catalog() *Catalog { return p.catalog }
+
+func copyTags(tags map[string]string) map[string]string {
+	out := make(map[string]string, len(tags))
+	for k, v := range tags {
+		out[k] = v
+	}
+	return out
+}
+
+func matchTags(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshot(inst *Instance) Instance {
+	cp := *inst
+	cp.Tags = copyTags(inst.Tags)
+	return cp
+}
+
+// Cost is a convenience helper: the price of running nInstances of type t
+// for the given duration in seconds, billed per second.
+func Cost(t InstanceType, nInstances int, seconds float64) float64 {
+	if nInstances < 0 || seconds < 0 {
+		return 0
+	}
+	return float64(nInstances) * seconds / 3600 * t.PricePerHour
+}

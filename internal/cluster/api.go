@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+// API exposes the control plane over HTTP, the way the prototype's master
+// node would to kubectl-style tooling:
+//
+//	GET  /healthz           -> "ok"
+//	GET  /api/nodes         -> []Node
+//	GET  /api/pods?job=...  -> []Pod
+//	GET  /api/jobs          -> []Job
+//	GET  /api/jobs/{id}     -> Job
+//	POST /api/jobs          -> submit {"workload": "...", "deadline_sec": ..., "loss_target": ...}
+//
+// Submissions run synchronously through the controller (profile, plan,
+// provision, train, tear down) and return the finished Job.
+type API struct {
+	master     *Master
+	controller *Controller
+
+	mu sync.Mutex // serializes submissions
+}
+
+// NewAPI builds the HTTP layer over a master and its controller.
+func NewAPI(master *Master, controller *Controller) *API {
+	return &API{master: master, controller: controller}
+}
+
+// Handler returns the route table as an http.Handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/nodes", a.getNodes)
+	mux.HandleFunc("GET /api/events", a.getEvents)
+	mux.HandleFunc("GET /api/pods", a.getPods)
+	mux.HandleFunc("GET /api/jobs", a.getJobs)
+	mux.HandleFunc("GET /api/jobs/{id}", a.getJob)
+	mux.HandleFunc("POST /api/jobs", a.postJob)
+	return mux
+}
+
+// JobRequest is the submission payload.
+type JobRequest struct {
+	Workload    string  `json:"workload"`
+	DeadlineSec float64 `json:"deadline_sec"`
+	LossTarget  float64 `json:"loss_target"`
+}
+
+// JobResponse is the wire form of a Job.
+type JobResponse struct {
+	ID           string  `json:"id"`
+	Workload     string  `json:"workload"`
+	Status       string  `json:"status"`
+	InstanceType string  `json:"instance_type,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	PS           int     `json:"ps,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
+	PredTimeSec  float64 `json:"predicted_sec,omitempty"`
+	TrainingSec  float64 `json:"training_sec,omitempty"`
+	FinalLoss    float64 `json:"final_loss,omitempty"`
+	CostUSD      float64 `json:"cost_usd,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+func toResponse(j Job) JobResponse {
+	resp := JobResponse{
+		ID:          j.ID,
+		Status:      string(j.Status),
+		Iterations:  j.Plan.Iterations,
+		Workers:     j.Plan.Workers,
+		PS:          j.Plan.PS,
+		PredTimeSec: j.Plan.PredTime,
+		TrainingSec: j.TrainingTime,
+		FinalLoss:   j.FinalLoss,
+		CostUSD:     j.Cost,
+		Error:       j.Err,
+	}
+	if j.Workload != nil {
+		resp.Workload = j.Workload.Name
+	}
+	if j.Plan.Type.Name != "" {
+		resp.InstanceType = j.Plan.Type.Name
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (a *API) getNodes(w http.ResponseWriter, r *http.Request) {
+	type nodeResp struct {
+		Name      string `json:"name"`
+		Instance  string `json:"instance"`
+		Type      string `json:"type"`
+		Cores     int    `json:"cores"`
+		FreeCores int    `json:"free_cores"`
+	}
+	var out []nodeResp
+	for _, n := range a.master.Nodes() {
+		out = append(out, nodeResp{
+			Name: n.Name, Instance: n.InstanceID, Type: n.Type.Name,
+			Cores: n.Cores, FreeCores: n.FreeCores(),
+		})
+	}
+	if out == nil {
+		out = []nodeResp{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) getEvents(w http.ResponseWriter, r *http.Request) {
+	after := 0
+	if s := r.URL.Query().Get("after"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &after); err != nil {
+			writeError(w, http.StatusBadRequest, "bad after=%q", s)
+			return
+		}
+	}
+	events := a.master.Events(after)
+	if events == nil {
+		events = []Event{}
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+func (a *API) getPods(w http.ResponseWriter, r *http.Request) {
+	pods := a.master.Pods(r.URL.Query().Get("job"))
+	if pods == nil {
+		pods = []Pod{}
+	}
+	writeJSON(w, http.StatusOK, pods)
+}
+
+func (a *API) getJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := a.controller.Jobs()
+	out := make([]JobResponse, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, toResponse(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) getJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, err := a.controller.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(j))
+}
+
+func (a *API) postJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Workload) == "" {
+		writeError(w, http.StatusBadRequest, "workload is required")
+		return
+	}
+	workload, err := model.WorkloadByName(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	goal := plan.Goal{TimeSec: req.DeadlineSec, LossTarget: req.LossTarget}
+	if err := goal.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a.mu.Lock()
+	job, err := a.controller.Submit(workload, goal)
+	a.mu.Unlock()
+	if err != nil {
+		// The job record still carries the failure detail.
+		status := http.StatusUnprocessableEntity
+		if job == nil {
+			writeError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, status, toResponse(*job))
+		return
+	}
+	writeJSON(w, http.StatusCreated, toResponse(*job))
+}

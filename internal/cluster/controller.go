@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+	"cynthia/internal/plan"
+	"cynthia/internal/profile"
+)
+
+// JobStatus is a training job's lifecycle state.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusPlanning     JobStatus = "planning"
+	StatusProvisioning JobStatus = "provisioning"
+	StatusRunning      JobStatus = "running"
+	StatusSucceeded    JobStatus = "succeeded"
+	StatusMissedGoal   JobStatus = "missed-goal"
+	StatusFailed       JobStatus = "failed"
+)
+
+// Job is one submitted training workload.
+type Job struct {
+	ID       string
+	Workload *model.Workload
+	Goal     plan.Goal
+	Status   JobStatus
+	// Plan is the provisioning decision (valid from StatusProvisioning).
+	Plan plan.Plan
+	// Actual training outcome (valid once finished).
+	TrainingTime float64
+	FinalLoss    float64
+	Cost         float64
+	Err          string
+}
+
+// Controller drives jobs end to end: it profiles the workload once,
+// computes a provisioning plan, launches instances, joins them to the
+// master with the bootstrap token, schedules worker and PS pods, runs the
+// training (in the simulator), and tears everything down.
+type Controller struct {
+	master    *Master
+	provider  *cloud.Provider
+	predictor perf.Predictor
+	baseType  string
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	profiles map[string]*perf.Profile // workload name -> cached profile
+	nextJob  int
+	// CoresPerInstance is how many dockers fit one instance (physical
+	// cores; vCPUs/2 on the paper's testbed).
+	CoresPerInstance int
+}
+
+// NewController wires a controller to a master and a cloud provider. The
+// predictor defaults to perf.Cynthia; baseType is the profiling baseline
+// (defaults to m4.xlarge, as in the paper).
+func NewController(master *Master, provider *cloud.Provider, predictor perf.Predictor, baseType string) *Controller {
+	if predictor == nil {
+		predictor = perf.Cynthia{}
+	}
+	if baseType == "" {
+		baseType = cloud.M4XLarge
+	}
+	return &Controller{
+		master:           master,
+		provider:         provider,
+		predictor:        predictor,
+		baseType:         baseType,
+		jobs:             make(map[string]*Job),
+		profiles:         make(map[string]*perf.Profile),
+		CoresPerInstance: 2,
+	}
+}
+
+// profileFor profiles the workload once on the baseline type and caches
+// the result (the paper's "each workload requires profiling only once").
+func (c *Controller) profileFor(w *model.Workload) (*perf.Profile, error) {
+	c.mu.Lock()
+	if p, ok := c.profiles[w.Name]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	base, err := c.provider.Catalog().Lookup(c.baseType)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := profile.Run(w, base, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.profiles[w.Name] = rep.Profile
+	c.mu.Unlock()
+	return rep.Profile, nil
+}
+
+// Submit runs a workload to the given goal and returns the finished job.
+func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
+	if w == nil {
+		return nil, fmt.Errorf("cluster: nil workload")
+	}
+	c.mu.Lock()
+	c.nextJob++
+	job := &Job{ID: fmt.Sprintf("job-%d", c.nextJob), Workload: w, Goal: goal, Status: StatusPlanning}
+	c.jobs[job.ID] = job
+	c.mu.Unlock()
+
+	c.master.log.record("JobSubmitted", "job/"+job.ID, "%s, goal %.0fs / loss %.2f", w.Name, goal.TimeSec, goal.LossTarget)
+	fail := func(err error) (*Job, error) {
+		c.mu.Lock()
+		job.Status = StatusFailed
+		job.Err = err.Error()
+		c.mu.Unlock()
+		c.master.log.record("JobFailed", "job/"+job.ID, "%v", err)
+		return job, err
+	}
+
+	prof, err := c.profileFor(w)
+	if err != nil {
+		return fail(err)
+	}
+	req := plan.Request{
+		Profile:   prof,
+		Goal:      goal,
+		Predictor: c.predictor,
+		Catalog:   c.provider.Catalog(),
+	}
+	p, err := plan.Provision(req)
+	if err != nil {
+		return fail(err)
+	}
+	c.mu.Lock()
+	job.Plan = p
+	job.Status = StatusProvisioning
+	c.mu.Unlock()
+	c.master.log.record("JobPlanned", "job/"+job.ID, "%s", p)
+
+	// Launch instances (one docker per core). If the provider is out of
+	// capacity for the chosen plan, fall back through the remaining
+	// feasible candidates in cost order.
+	instances, launched, err := c.launchWithFallback(job, req, &p)
+	if err != nil {
+		return fail(err)
+	}
+	nInstances := launched
+	cleanup := func() {
+		for _, pod := range c.master.Pods(job.ID) {
+			_ = c.master.Delete(pod.Name)
+		}
+		for _, inst := range instances {
+			_ = c.master.Drain("node-" + inst.ID)
+			_ = c.provider.Terminate(inst.ID)
+		}
+	}
+	defer cleanup()
+
+	// Join each instance with the bootstrap credentials.
+	token, caHash := c.master.JoinCredentials()
+	for _, inst := range instances {
+		if _, err := c.master.Join("node-"+inst.ID, inst.ID, inst.Type, c.CoresPerInstance, token, caHash); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Schedule pods.
+	for i := 0; i < p.PS; i++ {
+		if _, err := c.master.Schedule(PodSpec{Role: RolePS, Job: job.ID, TypeName: p.Type.Name}); err != nil {
+			return fail(err)
+		}
+	}
+	for i := 0; i < p.Workers; i++ {
+		if _, err := c.master.Schedule(PodSpec{Role: RoleWorker, Job: job.ID, TypeName: p.Type.Name}); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Run the training job.
+	c.mu.Lock()
+	job.Status = StatusRunning
+	c.mu.Unlock()
+	res, err := ddnnsim.Run(w, cloud.Homogeneous(p.Type, p.Workers, p.PS), ddnnsim.Options{
+		Iterations: p.Iterations,
+		LossEvery:  maxInt(p.Iterations/100, 1),
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	c.mu.Lock()
+	job.TrainingTime = res.TrainingTime
+	job.FinalLoss = res.FinalLoss
+	job.Cost = cloud.Cost(p.Type, nInstances, res.TrainingTime)
+	if res.TrainingTime <= goal.TimeSec*1.05 {
+		job.Status = StatusSucceeded
+	} else {
+		job.Status = StatusMissedGoal
+	}
+	status := job.Status
+	c.mu.Unlock()
+	c.master.log.record("JobFinished", "job/"+job.ID, "%s in %.0fs, loss %.3f, $%.3f",
+		status, res.TrainingTime, res.FinalLoss, job.Cost)
+	return job, nil
+}
+
+// launchWithFallback tries the chosen plan first and then, on capacity
+// errors, every remaining feasible candidate in cost order. On success it
+// updates *chosen to the plan that launched and returns the instances.
+func (c *Controller) launchWithFallback(job *Job, req plan.Request, chosen *plan.Plan) ([]*cloud.Instance, int, error) {
+	try := func(p plan.Plan) ([]*cloud.Instance, int, error) {
+		dockers := p.Workers + p.PS
+		n := (dockers + c.CoresPerInstance - 1) / c.CoresPerInstance
+		insts, err := c.provider.Launch(p.Type.Name, n, map[string]string{"job": job.ID})
+		return insts, n, err
+	}
+	insts, n, err := try(*chosen)
+	if err == nil {
+		return insts, n, nil
+	}
+	if !errors.Is(err, cloud.ErrCapacity) {
+		return nil, 0, err
+	}
+	c.master.log.record("CapacityFallback", "job/"+job.ID, "%v; trying alternatives", err)
+	cands, cerr := plan.Candidates(req)
+	if cerr != nil {
+		return nil, 0, err
+	}
+	for _, cand := range cands {
+		if !cand.Feasible {
+			break // sorted feasible-first; nothing usable remains
+		}
+		if cand.Type.Name == chosen.Type.Name && cand.Workers == chosen.Workers && cand.PS == chosen.PS {
+			continue // already tried
+		}
+		insts, n, lerr := try(cand)
+		if lerr == nil {
+			*chosen = cand
+			c.mu.Lock()
+			job.Plan = cand
+			c.mu.Unlock()
+			c.master.log.record("JobReplanned", "job/"+job.ID, "%s", cand)
+			return insts, n, nil
+		}
+		if !errors.Is(lerr, cloud.ErrCapacity) {
+			return nil, 0, lerr
+		}
+	}
+	return nil, 0, fmt.Errorf("cluster: no feasible plan fits provider capacity: %w", err)
+}
+
+// Job returns a snapshot of the job with the given id.
+func (c *Controller) Job(id string) (Job, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("cluster: no such job %s", id)
+	}
+	return *j, nil
+}
+
+// Jobs returns snapshots of all jobs.
+func (c *Controller) Jobs() []Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		out = append(out, *j)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one control-plane occurrence, in the style of Kubernetes
+// events: a timestamped (reason, object, message) triple.
+type Event struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq int
+	// Time is the wall-clock instant the event was recorded.
+	Time time.Time
+	// Reason is a short camel-case cause ("NodeJoined", "PodScheduled").
+	Reason string
+	// Object names the affected resource ("node/na", "pod/j1-worker-1",
+	// "job/job-3").
+	Object string
+	// Message is the human-readable detail.
+	Message string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("%s  %-16s %-24s %s", e.Time.Format(time.RFC3339), e.Reason, e.Object, e.Message)
+}
+
+// eventLog is a bounded in-memory event recorder.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+	limit  int
+}
+
+// record appends an event, evicting the oldest past the bound.
+func (l *eventLog) record(reason, object, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.limit == 0 {
+		l.limit = 1024
+	}
+	l.seq++
+	l.events = append(l.events, Event{
+		Seq:     l.seq,
+		Time:    time.Now(),
+		Reason:  reason,
+		Object:  object,
+		Message: fmt.Sprintf(format, args...),
+	})
+	if len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+}
+
+// snapshot returns events newer than afterSeq (0 = all retained).
+func (l *eventLog) snapshot(afterSeq int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.events))
+	for _, e := range l.events {
+		if e.Seq > afterSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Events returns the master's retained events newer than afterSeq
+// (pass 0 for all).
+func (m *Master) Events(afterSeq int) []Event {
+	return m.log.snapshot(afterSeq)
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+func TestEventsRecordLifecycle(t *testing.T) {
+	m := newMaster(t)
+	token, hash := m.JoinCredentials()
+	if _, err := m.Join("n1", "i-1", m4(t), 2, token, hash); err != nil {
+		t.Fatal(err)
+	}
+	pod, err := m.Schedule(PodSpec{Role: RoleWorker, Job: "j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(pod.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain("n1"); err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events(0)
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4: %v", len(events), events)
+	}
+	wantReasons := []string{"NodeJoined", "PodScheduled", "PodDeleted", "NodeDrained"}
+	for i, want := range wantReasons {
+		if events[i].Reason != want {
+			t.Errorf("event %d reason = %s, want %s", i, events[i].Reason, want)
+		}
+		if events[i].Seq != i+1 {
+			t.Errorf("event %d seq = %d", i, events[i].Seq)
+		}
+		if events[i].Time.IsZero() || events[i].Object == "" {
+			t.Errorf("event %d incomplete: %+v", i, events[i])
+		}
+	}
+	// Incremental reads.
+	tail := m.Events(2)
+	if len(tail) != 2 || tail[0].Reason != "PodDeleted" {
+		t.Errorf("after=2 tail = %v", tail)
+	}
+	if s := events[0].String(); !strings.Contains(s, "NodeJoined") || !strings.Contains(s, "node/n1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	var l eventLog
+	l.limit = 8
+	for i := 0; i < 20; i++ {
+		l.record("R", "o", "msg %d", i)
+	}
+	got := l.snapshot(0)
+	if len(got) != 8 {
+		t.Fatalf("retained %d, want 8", len(got))
+	}
+	if got[0].Seq != 13 || got[7].Seq != 20 {
+		t.Errorf("retained range %d..%d, want 13..20", got[0].Seq, got[7].Seq)
+	}
+}
+
+func TestControllerEmitsJobEvents(t *testing.T) {
+	master := newMaster(t)
+	provider := cloud.NewProvider(cloud.DefaultCatalog(), nil)
+	ctl := NewController(master, provider, nil, "")
+	w, _ := model.WorkloadByName("mnist DNN")
+	if _, err := ctl.Submit(w, plan.Goal{TimeSec: 1800, LossTarget: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	reasons := map[string]bool{}
+	for _, e := range master.Events(0) {
+		reasons[e.Reason] = true
+	}
+	for _, want := range []string{"JobSubmitted", "JobPlanned", "JobFinished", "NodeJoined", "PodScheduled"} {
+		if !reasons[want] {
+			t.Errorf("missing event %s (have %v)", want, reasons)
+		}
+	}
+}
+
+func TestEventsAPI(t *testing.T) {
+	api, _ := newTestAPI(t)
+	token, hash := api.master.JoinCredentials()
+	if _, err := api.master.Join("n1", "i-1", m4(t), 2, token, hash); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := doJSON(t, api.Handler(), "GET", "/api/events", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "NodeJoined") {
+		t.Errorf("events = %d %s", rec.Code, rec.Body.String())
+	}
+	rec, _ = doJSON(t, api.Handler(), "GET", "/api/events?after=999", "")
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("after=999 = %s", rec.Body.String())
+	}
+	rec, _ = doJSON(t, api.Handler(), "GET", "/api/events?after=bogus", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad after = %d", rec.Code)
+	}
+}

@@ -1,0 +1,141 @@
+// Package core is the high-level entry point to the paper's contribution:
+// one object that walks the full Cynthia pipeline — profile the workload
+// once on a baseline worker (Sec. 3), fit the Eq. (1) loss model (Sec. 2),
+// and provision the cost-efficient cluster for a (deadline, loss) goal
+// (Sec. 4) — delegating to internal/profile, internal/loss, internal/perf,
+// and internal/plan. Use the underlying packages directly for finer
+// control.
+package core
+
+import (
+	"fmt"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/loss"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+	"cynthia/internal/plan"
+	"cynthia/internal/profile"
+)
+
+// Pipeline holds the state Cynthia accumulates per workload: the one-time
+// profile and the fitted loss model.
+type Pipeline struct {
+	workload  *model.Workload
+	catalog   *cloud.Catalog
+	baseline  cloud.InstanceType
+	profile   *perf.Profile
+	lossR2    float64
+	lossFit   bool
+	profiled  bool
+	predictor perf.Predictor
+}
+
+// New prepares a pipeline for the workload. catalog defaults to the CPU
+// catalog; baselineType to m4.xlarge (the paper's baseline).
+func New(w *model.Workload, catalog *cloud.Catalog, baselineType string) (*Pipeline, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil workload")
+	}
+	if catalog == nil {
+		catalog = cloud.DefaultCatalog()
+	}
+	if baselineType == "" {
+		baselineType = cloud.M4XLarge
+	}
+	base, err := catalog.Lookup(baselineType)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		workload:  w,
+		catalog:   catalog,
+		baseline:  base,
+		predictor: perf.Cynthia{},
+	}, nil
+}
+
+// Profile runs the 30-iteration baseline profiling (idempotent: the paper
+// profiles each workload once). It returns the measured profile.
+func (p *Pipeline) Profile() (*perf.Profile, error) {
+	if p.profiled {
+		return p.profile, nil
+	}
+	rep, err := profile.Run(p.workload, p.baseline, 0)
+	if err != nil {
+		return nil, err
+	}
+	p.profile = rep.Profile
+	p.profiled = true
+	return p.profile, nil
+}
+
+// FitLoss observes one training run and fits the Eq. (1) loss model,
+// replacing the workload's coefficients with the fitted ones (the paper
+// obtains the loss function "by executing the DDNN training job once").
+// observeIters and observeWorkers shape the observation run.
+func (p *Pipeline) FitLoss(observeIters, observeWorkers int) (model.LossParams, float64, error) {
+	if observeIters < 10 || observeWorkers < 1 {
+		return model.LossParams{}, 0, fmt.Errorf("core: observation run needs >=10 iterations and >=1 worker")
+	}
+	res, err := ddnnsim.Run(p.workload, cloud.Homogeneous(p.baseline, observeWorkers, 1),
+		ddnnsim.Options{Iterations: observeIters})
+	if err != nil {
+		return model.LossParams{}, 0, err
+	}
+	fitted, r2, err := loss.Fit(p.workload.Sync, loss.PointsFromResult(res, observeWorkers))
+	if err != nil {
+		return model.LossParams{}, 0, err
+	}
+	// Work on a copy so the caller's workload object stays untouched.
+	w := *p.workload
+	w.Loss = fitted
+	p.workload = &w
+	if p.profiled {
+		prof := *p.profile
+		prof.Workload = &w
+		p.profile = &prof
+	}
+	p.lossR2 = r2
+	p.lossFit = true
+	return fitted, r2, nil
+}
+
+// Provision profiles (if needed) and computes the cost-efficient plan for
+// the goal. FitLoss is optional: without it the workload's existing loss
+// coefficients are used.
+func (p *Pipeline) Provision(goal plan.Goal) (plan.Plan, error) {
+	prof, err := p.Profile()
+	if err != nil {
+		return plan.Plan{}, err
+	}
+	return plan.Provision(plan.Request{
+		Profile:   prof,
+		Goal:      goal,
+		Predictor: p.predictor,
+		Catalog:   p.catalog,
+	})
+}
+
+// Validate simulates the plan and reports the actual training time, final
+// loss, and cost.
+func (p *Pipeline) Validate(pl plan.Plan) (trainingSec, finalLoss, costUSD float64, err error) {
+	res, err := ddnnsim.Run(p.workload, cloud.Homogeneous(pl.Type, pl.Workers, pl.PS),
+		ddnnsim.Options{Iterations: pl.Iterations, LossEvery: maxInt(pl.Iterations/100, 1)})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cost := pl.Type.PricePerHour * float64(pl.Workers+pl.PS) * res.TrainingTime / 3600
+	return res.TrainingTime, res.FinalLoss, cost, nil
+}
+
+// LossFitR2 reports the goodness of the last FitLoss (0 if never fitted).
+func (p *Pipeline) LossFitR2() float64 { return p.lossR2 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

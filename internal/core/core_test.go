@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+func pipeline(t *testing.T, workload string) *Pipeline {
+	t.Helper()
+	w, err := model.WorkloadByName(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(w, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, ""); err == nil {
+		t.Error("nil workload accepted")
+	}
+	w, _ := model.WorkloadByName("mnist DNN")
+	if _, err := New(w, nil, "z9.huge"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestProfileIdempotent(t *testing.T) {
+	p := pipeline(t, "mnist DNN")
+	first, err := p.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("Profile re-ran instead of caching")
+	}
+	if first.WiterGFLOPs <= 0 {
+		t.Error("empty profile")
+	}
+}
+
+func TestFitLossRecoversCoefficients(t *testing.T) {
+	p := pipeline(t, "cifar10 DNN")
+	truth := p.workload.Loss
+	fitted, r2, err := p.FitLoss(6000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9 || p.LossFitR2() != r2 {
+		t.Errorf("R² = %v", r2)
+	}
+	if math.Abs(fitted.Beta0-truth.Beta0)/truth.Beta0 > 0.05 {
+		t.Errorf("β0 = %v, truth %v", fitted.Beta0, truth.Beta0)
+	}
+	if _, _, err := p.FitLoss(1, 0); err == nil {
+		t.Error("degenerate observation accepted")
+	}
+}
+
+func TestFitLossDoesNotMutateCallerWorkload(t *testing.T) {
+	w, _ := model.WorkloadByName("cifar10 DNN")
+	orig := w.Loss
+	p, err := New(w, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.FitLoss(3000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Loss != orig {
+		t.Error("FitLoss mutated the caller's workload")
+	}
+}
+
+func TestProvisionAndValidateEndToEnd(t *testing.T) {
+	p := pipeline(t, "cifar10 DNN")
+	if _, _, err := p.FitLoss(6000, 4); err != nil {
+		t.Fatal(err)
+	}
+	goal := plan.Goal{TimeSec: 5400, LossTarget: 0.8}
+	pl, err := p.Provision(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Feasible {
+		t.Fatalf("plan infeasible: %v", pl)
+	}
+	trainingSec, finalLoss, cost, err := p.Validate(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainingSec > goal.TimeSec*1.05 {
+		t.Errorf("actual %.0fs misses %.0fs goal", trainingSec, goal.TimeSec)
+	}
+	if finalLoss > goal.LossTarget*1.1 {
+		t.Errorf("final loss %.3f above target", finalLoss)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+}
+
+func TestProvisionGPUCatalog(t *testing.T) {
+	w := model.ResNet50Workload()
+	p, err := New(w, cloud.GPUCatalog(), cloud.P2XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.Provision(plan.Goal{TimeSec: 3600, LossTarget: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Feasible {
+		t.Errorf("GPU plan infeasible: %v", pl)
+	}
+}

@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the Sec. 2 motivation study (Table 1-2, Figs. 1-4), the
+// model-validation experiments (Table 4, Figs. 6-10), the provisioning
+// comparison (Figs. 11-13), and the Sec. 5.3 overhead study. Each
+// generator runs the relevant workloads in the simulator, applies the
+// predictors and the provisioner, and emits the same rows/series the
+// paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+// Config tunes experiment execution.
+type Config struct {
+	// Scale multiplies iteration budgets. 1.0 reproduces the paper's
+	// full runs; tests use small fractions. Values <= 0 default to 1.0.
+	Scale float64
+	// Seed drives all stochastic components.
+	Seed int64
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// iters scales a full-run iteration budget, keeping a sane floor.
+func (c Config) iters(full int) int {
+	n := int(float64(full) * c.scale())
+	if n < 40 {
+		n = 40
+	}
+	if n > full {
+		n = full
+	}
+	return n
+}
+
+// Table is one emitted result table (tables and figures alike are
+// rendered as rows — a figure's series become its rows).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total >= 2 {
+		total -= 2
+	}
+	return total
+}
+
+// Generator produces the tables for one experiment.
+type Generator func(Config) ([]*Table, error)
+
+// registry maps experiment ids to generators; populated by init funcs in
+// the sibling files.
+var registry = map[string]Generator{}
+
+func register(id string, g Generator) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = g
+}
+
+// IDs lists the registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) ([]*Table, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return g(cfg)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		tables, err := Run(id, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, tables...)
+	}
+	return out, nil
+}
+
+// --- shared helpers ---
+
+func mustType(name string) cloud.InstanceType {
+	t, err := cloud.DefaultCatalog().Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func workload(name string) (*model.Workload, error) {
+	return model.WorkloadByName(name)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+func d(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps runs short; the experiments themselves assert nothing —
+// the tests check structure and headline shapes.
+var fastCfg = Config{Scale: 0.03, Seed: 1}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"extension-gpu",
+		"figure1", "figure10", "figure11", "figure12", "figure13",
+		"figure2", "figure3", "figure4", "figure4-real", "figure6", "figure7",
+		"figure8", "figure9", "section5.3", "table1", "table2", "table4",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("figure99", fastCfg); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func mustRun(t *testing.T, id string) []*Table {
+	t.Helper()
+	tables, err := Run(id, fastCfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Fatalf("%s produced malformed table %+v", id, tab)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s: row width %d != header %d", id, len(row), len(tab.Header))
+			}
+		}
+	}
+	return tables
+}
+
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	tabs := mustRun(t, "table1")
+	if len(tabs[0].Rows) != 4 {
+		t.Errorf("table1 rows = %d", len(tabs[0].Rows))
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	tabs := mustRun(t, "figure1")
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	// (a) ResNet ASP: homogeneous time decreases with workers, and the
+	// heterogeneous cluster is slower.
+	a := tabs[0]
+	if !(cell(t, a, 0, 1) > cell(t, a, 2, 1)) {
+		t.Errorf("ResNet homo time should fall with workers: %v", a.Rows)
+	}
+	if !(cell(t, a, 1, 2) > cell(t, a, 1, 1)) {
+		t.Errorf("hetero should be slower: %v", a.Rows[1])
+	}
+	// (b) mnist BSP U-shape: t(8) > t(4), t(2) < t(1).
+	b := tabs[1]
+	if !(cell(t, b, 1, 1) < cell(t, b, 0, 1)) {
+		t.Errorf("mnist 1->2 should speed up: %v", b.Rows)
+	}
+	if !(cell(t, b, 3, 1) > cell(t, b, 2, 1)) {
+		t.Errorf("mnist 4->8 should slow down: %v", b.Rows)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := mustRun(t, "table2")[0]
+	// Worker utilization (col 2) collapses from ~100% at 1 worker.
+	if !(cell(t, tab, 0, 2) > 95) {
+		t.Errorf("1-worker util: %v", tab.Rows[0])
+	}
+	if !(cell(t, tab, 3, 2) < 50) {
+		t.Errorf("8-worker util should collapse: %v", tab.Rows[3])
+	}
+	// PS utilization (col 1) rises to ~100%.
+	if !(cell(t, tab, 3, 1) > 90) {
+		t.Errorf("PS util at 8 workers: %v", tab.Rows[3])
+	}
+}
+
+func TestFigure2Plateau(t *testing.T) {
+	tab := mustRun(t, "figure2")[0]
+	s4 := cell(t, tab, 2, 1)
+	s8 := cell(t, tab, 3, 1)
+	if s4 <= cell(t, tab, 0, 1) {
+		t.Errorf("throughput should grow with workers: %v", tab.Rows)
+	}
+	rel := (s8 - s4) / s4
+	if rel > 0.3 || rel < -0.3 {
+		t.Errorf("no plateau 4->8: %v vs %v", s4, s8)
+	}
+}
+
+func TestFigure3Crossover(t *testing.T) {
+	tab := mustRun(t, "figure3")[0]
+	first, last := 0, len(tab.Rows)-1
+	if !(cell(t, tab, first, 1) > cell(t, tab, last, 1)) {
+		t.Errorf("computation should shrink: %v", tab.Rows)
+	}
+	if !(cell(t, tab, last, 2) > cell(t, tab, first, 2)) {
+		t.Errorf("communication should grow: %v", tab.Rows)
+	}
+	if !(cell(t, tab, first, 1) > cell(t, tab, first, 2)) {
+		t.Errorf("computation should dominate at 9 workers: %v", tab.Rows[first])
+	}
+}
+
+func TestFigure4FitQuality(t *testing.T) {
+	tabs := mustRun(t, "figure4")
+	for _, tab := range tabs {
+		for r := range tab.Rows {
+			if r2 := cell(t, tab, r, 6); r2 < 0.85 {
+				t.Errorf("%s row %d R² = %v", tab.ID, r, r2)
+			}
+			// Loss decreases along the curve.
+			if !(cell(t, tab, r, 1) > cell(t, tab, r, 3)) {
+				t.Errorf("%s row %d loss not decreasing: %v", tab.ID, r, tab.Rows[r])
+			}
+		}
+	}
+}
+
+func TestTable4Regimes(t *testing.T) {
+	tab := mustRun(t, "table4")[0]
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	parse := func(name string, col int) float64 {
+		v, err := strconv.ParseFloat(byName[name][col], 64)
+		if err != nil {
+			t.Fatalf("%s col %d: %v", name, col, err)
+		}
+		return v
+	}
+	// VGG-19 has by far the largest gparam; mnist the smallest witer.
+	if !(parse("VGG-19", 2) > 10*parse("cifar10 DNN", 2)) {
+		t.Errorf("VGG gparam should dominate: %v", tab.Rows)
+	}
+	if !(parse("mnist DNN", 1) < parse("ResNet-32", 1)) {
+		t.Errorf("mnist witer should be smallest: %v", tab.Rows)
+	}
+}
+
+func TestFigure6CynthiaBeatsBaselinesAtScale(t *testing.T) {
+	tabs := mustRun(t, "figure6")
+	// Fig 6(a) last row = VGG at 12 workers: Cynthia error (col 4) below
+	// Optimus (col 6) and Paleo (col 8).
+	a := tabs[0]
+	last := len(a.Rows) - 1
+	cyn := cell(t, a, last, 4)
+	opt := cell(t, a, last, 6)
+	paleo := cell(t, a, last, 8)
+	if cyn >= opt || cyn >= paleo {
+		t.Errorf("VGG@12: Cynthia %v%% should beat Optimus %v%% and Paleo %v%%", cyn, opt, paleo)
+	}
+	if cyn > 10 {
+		t.Errorf("Cynthia error %v%% too large", cyn)
+	}
+}
+
+func TestFigure7Saturation(t *testing.T) {
+	tab := mustRun(t, "figure7")[0]
+	// Throughput grows toward saturation at 9 workers.
+	if !(cell(t, tab, 2, 1) > cell(t, tab, 0, 1)) {
+		t.Errorf("throughput should grow: %v", tab.Rows)
+	}
+	if util := cell(t, tab, 2, 3); util < 80 {
+		t.Errorf("NIC util at 9 workers = %v%%, want near saturation", util)
+	}
+}
+
+func TestFigure8CrossInstanceAccuracy(t *testing.T) {
+	tab := mustRun(t, "figure8")[0]
+	for r := range tab.Rows {
+		if e := cell(t, tab, r, 4); e > 15 {
+			t.Errorf("cross-instance error %v%% at row %d", e, r)
+		}
+	}
+}
+
+func TestFigure9HeterogeneousAccuracy(t *testing.T) {
+	for _, tab := range mustRun(t, "figure9") {
+		for r := range tab.Rows {
+			if e := cell(t, tab, r, 4); e > 12 {
+				t.Errorf("%s row %d error %v%%", tab.ID, r, e)
+			}
+		}
+	}
+}
+
+func TestFigure10MultiPS(t *testing.T) {
+	tabs := mustRun(t, "figure10")
+	for _, tab := range tabs {
+		for r := range tab.Rows {
+			if e := cell(t, tab, r, 4); e > 12 {
+				t.Errorf("%s row %d error %v%%", tab.ID, r, e)
+			}
+		}
+	}
+	// mnist at 8 workers: 4 PS (last table, find rows with workers=8)
+	// should be faster than 1 PS.
+	b := tabs[1]
+	times := map[string]float64{}
+	for r, row := range b.Rows {
+		times[row[0]+"/"+row[1]] = cell(t, b, r, 2)
+	}
+	if !(times["8/4"] < times["8/1"]) {
+		t.Errorf("4 PS should beat 1 PS for mnist@8: %v", times)
+	}
+}
+
+func TestFigure11GoalsMetAndCheaper(t *testing.T) {
+	for _, tab := range mustRun(t, "figure11") {
+		for r, row := range tab.Rows {
+			if row[2] == "Cynthia" && row[5] != "yes" {
+				t.Errorf("%s row %d: Cynthia missed its goal: %v", tab.ID, r, row)
+			}
+		}
+		// Cynthia cost <= Optimus cost per goal (saving >= ~0).
+		for r, row := range tab.Rows {
+			if row[2] == "Cynthia" {
+				if s := cell(t, tab, r, 7); s < -8 {
+					t.Errorf("%s row %d: Cynthia costs %v%% more than Optimus", tab.ID, r, -s)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure12SecondPS(t *testing.T) {
+	tab := mustRun(t, "figure12")[0]
+	// The 0.6 target row for Cynthia should use 2 PS.
+	found := false
+	for _, row := range tab.Rows {
+		if row[1] == "0.60" && row[2] == "Cynthia" {
+			found = true
+			if !strings.Contains(row[3], "2ps") {
+				t.Errorf("expected a 2-PS plan at loss 0.6, got %q", row[3])
+			}
+			if row[5] != "yes" {
+				t.Errorf("Cynthia missed the 0.6 goal: %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no 0.6 Cynthia row: %v", tab.Rows)
+	}
+}
+
+func TestFigure13GoalsMet(t *testing.T) {
+	tab := mustRun(t, "figure13")[0]
+	for r, row := range tab.Rows {
+		if row[2] == "Cynthia" && row[5] != "yes" {
+			t.Errorf("row %d: Cynthia missed VGG goal: %v", r, row)
+		}
+	}
+}
+
+func TestSection53Overheads(t *testing.T) {
+	tabs := mustRun(t, "section5.3")
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	// Algorithm 1 rows must be sub-second.
+	for _, row := range tabs[1].Rows {
+		dur := row[2]
+		if strings.Contains(dur, "m") && !strings.Contains(dur, "ms") && !strings.Contains(dur, "µs") {
+			t.Errorf("Algorithm 1 took %s", dur)
+		}
+	}
+}
+
+func TestRenderProducesText(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}, Notes: []string{"hello"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "a  bb", "1  2", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := RunAll(Config{Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 16 {
+		t.Errorf("RunAll produced %d tables", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tab := range tables {
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Error("no rendered output")
+	}
+}

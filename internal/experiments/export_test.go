@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	t := &Table{ID: "T", Title: "demo, with comma", Header: []string{"a", "b"},
+		Notes: []string{"n1"}}
+	t.AddRow("1", "x,y")
+	t.AddRow("2", `quote"d`)
+	return t
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %d, want 4", len(records))
+	}
+	if records[1][0] != "a" || records[2][1] != "x,y" || records[3][1] != `quote"d` {
+		t.Errorf("csv content wrong: %v", records)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := demoTable()
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != orig.ID || back.Title != orig.Title || len(back.Rows) != 2 ||
+		back.Rows[1][1] != `quote"d` || back.Notes[0] != "n1" {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestWriteAllFormats(t *testing.T) {
+	tables := []*Table{demoTable(), demoTable()}
+	var text, csvOut, jsonOut bytes.Buffer
+	if err := WriteAll(&text, tables, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "== T: demo, with comma ==") {
+		t.Error("text format missing header")
+	}
+	if err := WriteAll(&csvOut, tables, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(csvOut.String(), "# T") != 2 {
+		t.Errorf("csv should contain both tables: %s", csvOut.String())
+	}
+	if err := WriteAll(&jsonOut, tables, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []*Table
+	if err := json.Unmarshal(jsonOut.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 {
+		t.Errorf("json decoded %d tables", len(decoded))
+	}
+	if err := WriteAll(&text, tables, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// Default format is text.
+	var def bytes.Buffer
+	if err := WriteAll(&def, tables, ""); err != nil {
+		t.Fatal(err)
+	}
+	if def.Len() == 0 {
+		t.Error("default format produced nothing")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []*Table{demoTable()}, "markdown"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### T — demo, with comma", "| a | b |", "| --- | --- |", "| 1 | x,y |", "*n1*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// "md" alias works too.
+	buf.Reset()
+	if err := WriteAll(&buf, []*Table{demoTable()}, "md"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("md alias produced nothing")
+	}
+}

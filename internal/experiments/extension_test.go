@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionGPU(t *testing.T) {
+	tabs := mustRun(t, "extension-gpu")
+	if len(tabs) != 2 {
+		t.Fatalf("%d tables, want 2", len(tabs))
+	}
+	validation, provisioning := tabs[0], tabs[1]
+	// Cynthia's error stays small across GPU types without re-profiling.
+	for r := range validation.Rows {
+		if e := cell(t, validation, r, 4); e > 12 {
+			t.Errorf("row %d (%s): error %v%%", r, validation.Rows[r][0], e)
+		}
+	}
+	// V100 rows must observe much faster training than K80 rows at the
+	// same worker count (row 1: p2@4, row 4: v100@4).
+	k80 := cell(t, validation, 1, 2)
+	v100 := cell(t, validation, 4, 2)
+	if v100 >= k80/2 {
+		t.Errorf("V100 (%vs) should be far faster than K80 (%vs)", v100, k80)
+	}
+	// Every provisioning goal is met with a sane plan.
+	for r, row := range provisioning.Rows {
+		if row[5] != "yes" {
+			t.Errorf("goal row %d missed: %v", r, row)
+		}
+		if !strings.Contains(row[2], "wk+") {
+			t.Errorf("malformed plan %q", row[2])
+		}
+	}
+	// Tighter deadlines buy faster hardware or more of it: the 1800s plan
+	// must cost at least as much per hour as the 7200s plan.
+	if len(provisioning.Rows) >= 3 {
+		tight := provisioning.Rows[0][2]
+		loose := provisioning.Rows[2][2]
+		if tight == loose {
+			t.Logf("note: identical plans for 1800s and 7200s: %s", tight)
+		}
+	}
+}
+
+func TestFigure4Real(t *testing.T) {
+	tabs := mustRun(t, "figure4-real")
+	tab := tabs[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	for r, row := range tab.Rows {
+		// Loss must fall substantially.
+		if !(cell(t, tab, r, 2) > 2*cell(t, tab, r, 3)) {
+			t.Errorf("row %d: loss %s -> %s, want halved", r, row[2], row[3])
+		}
+		if acc := cell(t, tab, r, 4); acc < 70 {
+			t.Errorf("row %d: accuracy %v%%", r, acc)
+		}
+		if r2 := cell(t, tab, r, 7); r2 < 0.3 {
+			t.Errorf("row %d: R² = %v", r, r2)
+		}
+		stale := cell(t, tab, r, 8)
+		if row[0] == "BSP" && stale != 0 {
+			t.Errorf("row %d: BSP staleness = %v", r, stale)
+		}
+		if row[0] == "ASP" && stale <= 0 {
+			t.Errorf("row %d: ASP staleness = %v, want > 0", r, stale)
+		}
+	}
+}

@@ -1,0 +1,508 @@
+// Package flow implements a discrete-event, flow-level ("fluid") simulator
+// with max-min fair sharing of resources.
+//
+// A Resource models anything with a finite service capacity: a CPU core
+// (capacity in GFLOPS), a NIC (capacity in MB/s), a disk, a bus. A Flow is a
+// finite amount of work (GFLOPs, MB, ...) that must be served by one or more
+// resources simultaneously (its path). At any instant every active flow
+// receives a rate determined by progressive-filling max-min fairness across
+// all resources: no flow can increase its rate without decreasing the rate
+// of a flow that has an equal or smaller rate.
+//
+// The Engine advances simulated time from one flow completion to the next,
+// recomputing the allocation whenever the set of active flows changes. This
+// captures, without closed-form shortcuts, the contention effects the
+// Cynthia paper measures: parameter-server NIC saturation, PS CPU
+// saturation, and idle worker CPUs behind a bottleneck.
+package flow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource is a finite-capacity service point shared by flows.
+type Resource struct {
+	name     string
+	capacity float64 // service units per second (> 0)
+
+	// Accounting, maintained by the Engine.
+	busyIntegral float64 // ∫ allocated-rate dt, in service units
+	lastRate     float64 // total rate allocated at the current instant
+	series       *Series // optional time series of allocated rate
+}
+
+// NewResource returns a resource with the given name and capacity
+// (service units per second). Capacity must be positive.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("flow: resource %q capacity %v out of range", name, capacity))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity in service units per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// BusyIntegral returns the total service delivered so far, in service
+// units. Dividing by (capacity × elapsed time) yields mean utilization.
+func (r *Resource) BusyIntegral() float64 { return r.busyIntegral }
+
+// Utilization returns the mean utilization of the resource over [0, now],
+// in [0, 1]. It returns 0 if now is not positive.
+func (r *Resource) Utilization(now float64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := r.busyIntegral / (r.capacity * now)
+	return math.Min(u, 1)
+}
+
+// Record attaches a time series that samples the aggregate allocated rate
+// on this resource into bins of the given width (seconds).
+func (r *Resource) Record(binWidth float64) *Series {
+	r.series = NewSeries(binWidth)
+	return r.series
+}
+
+// Flow is a finite amount of work served concurrently by every resource on
+// its path at a common rate.
+type Flow struct {
+	label     string
+	size      float64
+	remaining float64
+	path      []*Resource
+	rate      float64
+	done      func(now float64)
+	started   float64
+	engine    *Engine
+}
+
+// Label returns the diagnostic label given at submission.
+func (f *Flow) Label() string { return f.label }
+
+// Remaining returns the work left, in service units.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the most recently allocated rate.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Engine is a discrete-event fluid simulator. The zero value is not usable;
+// use NewEngine.
+type Engine struct {
+	now     float64
+	active  []*Flow
+	timers  timerHeap
+	seq     int // tie-break for deterministic timer ordering
+	stopped bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// ActiveFlows returns the number of currently active flows.
+func (e *Engine) ActiveFlows() int { return len(e.active) }
+
+// Submit adds a flow of the given size over path, invoking done (if
+// non-nil) at the simulated instant the flow completes. A flow of size <= 0
+// completes immediately (done runs during the current event, before the
+// engine advances). Submit may be called from done callbacks.
+func (e *Engine) Submit(label string, size float64, path []*Resource, done func(now float64)) *Flow {
+	if math.IsNaN(size) || math.IsInf(size, 0) {
+		panic(fmt.Sprintf("flow: flow %q size %v out of range", label, size))
+	}
+	if len(path) == 0 {
+		panic(fmt.Sprintf("flow: flow %q has empty path", label))
+	}
+	f := &Flow{label: label, size: size, remaining: size, path: path, done: done, started: e.now, engine: e}
+	if size <= 0 {
+		if done != nil {
+			done(e.now)
+		}
+		return f
+	}
+	e.active = append(e.active, f)
+	return f
+}
+
+// At schedules fn to run at the given absolute simulated time. Times in the
+// past (or present) run at the current time during the next step.
+func (e *Engine) At(t float64, fn func(now float64)) {
+	if math.IsNaN(t) {
+		panic("flow: At with NaN time")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.timers.push(timer{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from the current simulated time.
+func (e *Engine) After(d float64, fn func(now float64)) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until no active flows or timers remain, until the
+// optional horizon (seconds, <= 0 means none) is reached, or until Stop is
+// called. It returns the final simulated time.
+func (e *Engine) Run(horizon float64) float64 {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.active) == 0 && e.timers.Len() == 0 {
+			break
+		}
+		e.allocate()
+		// Earliest flow completion.
+		nextFlow := math.Inf(1)
+		for _, f := range e.active {
+			if f.rate > 0 {
+				if t := e.now + f.remaining/f.rate; t < nextFlow {
+					nextFlow = t
+				}
+			}
+		}
+		nextTimer := math.Inf(1)
+		if e.timers.Len() > 0 {
+			nextTimer = e.timers.peek().at
+		}
+		next := math.Min(nextFlow, nextTimer)
+		if math.IsInf(next, 1) {
+			// Active flows exist but none can progress and no timers
+			// remain: deadlock. Surface it loudly rather than spinning.
+			panic(fmt.Sprintf("flow: deadlock at t=%g with %d stalled flows", e.now, len(e.active)))
+		}
+		if horizon > 0 && next > horizon {
+			e.advanceTo(horizon)
+			e.now = horizon
+			break
+		}
+		e.advanceTo(next)
+		e.now = next
+		e.completeFinished()
+		e.fireTimers()
+	}
+	return e.now
+}
+
+// advanceTo integrates flow progress and resource accounting from e.now to
+// t, without changing e.now.
+func (e *Engine) advanceTo(t float64) {
+	dt := t - e.now
+	if dt <= 0 {
+		return
+	}
+	seen := map[*Resource]bool{}
+	for _, f := range e.active {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		for _, r := range f.path {
+			if !seen[r] {
+				seen[r] = true
+				r.busyIntegral += r.lastRate * dt
+				if r.series != nil {
+					r.series.Accumulate(e.now, t, r.lastRate)
+				}
+			}
+		}
+	}
+}
+
+// completeFinished removes flows whose remaining work reached zero and runs
+// their completion callbacks in deterministic (submission) order. The
+// completion threshold is relative to the flow size and to the time left at
+// the current rate: a flow within a nanosecond of completion is complete.
+// This keeps the event loop from stalling when the residual time drops
+// below the floating-point resolution of the clock.
+func (e *Engine) completeFinished() {
+	var finished []*Flow
+	kept := e.active[:0]
+	for _, f := range e.active {
+		eps := 1e-12 + 1e-12*f.size + 1e-9*f.rate
+		if f.remaining <= eps {
+			f.remaining = 0
+			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	e.active = kept
+	for _, f := range finished {
+		if f.done != nil {
+			f.done(e.now)
+		}
+	}
+}
+
+// fireTimers runs all timers scheduled at or before the current time.
+func (e *Engine) fireTimers() {
+	for e.timers.Len() > 0 && e.timers.peek().at <= e.now+1e-12 {
+		t := e.timers.pop()
+		t.fn(e.now)
+	}
+}
+
+// allocate computes the max-min fair rate for every active flow via
+// progressive filling (waterfilling): repeatedly saturate the most
+// constrained resource, freeze its flows, and continue with the rest.
+func (e *Engine) allocate() {
+	type resState struct {
+		res       *Resource
+		remaining float64 // capacity not yet assigned
+		nflows    int     // unfrozen flows through this resource
+	}
+	states := map[*Resource]*resState{}
+	flowResources := make(map[*Flow][]*resState, len(e.active))
+	for _, f := range e.active {
+		f.rate = 0
+		for _, r := range f.path {
+			st := states[r]
+			if st == nil {
+				st = &resState{res: r, remaining: r.capacity}
+				states[r] = st
+			}
+			st.nflows++
+			flowResources[f] = append(flowResources[f], st)
+		}
+	}
+	for r := range states {
+		r.lastRate = 0
+	}
+	unfrozen := make([]*Flow, len(e.active))
+	copy(unfrozen, e.active)
+	for len(unfrozen) > 0 {
+		// Bottleneck = resource with the smallest per-flow fair share.
+		var bottleneck *resState
+		best := math.Inf(1)
+		// Deterministic iteration: scan flows' paths in order.
+		for _, f := range unfrozen {
+			for _, st := range flowResources[f] {
+				if st.nflows == 0 {
+					continue
+				}
+				share := st.remaining / float64(st.nflows)
+				if share < best-1e-15 {
+					best = share
+					bottleneck = st
+				}
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the fair
+		// share; charge that rate to all resources on their paths.
+		kept := unfrozen[:0]
+		for _, f := range unfrozen {
+			crosses := false
+			for _, st := range flowResources[f] {
+				if st == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				kept = append(kept, f)
+				continue
+			}
+			f.rate = best
+			for _, st := range flowResources[f] {
+				st.remaining -= best
+				if st.remaining < 0 {
+					st.remaining = 0
+				}
+				st.nflows--
+			}
+		}
+		unfrozen = kept
+	}
+	for r, st := range states {
+		r.lastRate = r.capacity - st.remaining
+		if r.lastRate < 0 {
+			r.lastRate = 0
+		}
+	}
+}
+
+// timer is a scheduled callback.
+type timer struct {
+	at  float64
+	seq int
+	fn  func(now float64)
+}
+
+// timerHeap is a binary min-heap of timers ordered by (at, seq).
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *timerHeap) push(t timer) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h timerHeap) peek() timer { return h[0] }
+
+func (h *timerHeap) pop() timer {
+	top := (*h)[0]
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Series accumulates a rate signal into fixed-width time bins, yielding a
+// time series such as "MB/s on the PS NIC over the course of training".
+type Series struct {
+	binWidth float64
+	bins     []float64 // integrated service units per bin
+}
+
+// NewSeries returns a series with the given bin width in seconds.
+func NewSeries(binWidth float64) *Series {
+	if binWidth <= 0 {
+		panic("flow: series bin width must be positive")
+	}
+	return &Series{binWidth: binWidth}
+}
+
+// BinWidth returns the bin width in seconds.
+func (s *Series) BinWidth() float64 { return s.binWidth }
+
+// Accumulate integrates a constant rate over [t0, t1) into the bins.
+func (s *Series) Accumulate(t0, t1, rate float64) {
+	if t1 <= t0 || rate <= 0 {
+		return
+	}
+	first := int(t0 / s.binWidth)
+	last := int(t1 / s.binWidth)
+	if float64(last)*s.binWidth >= t1 {
+		last-- // t1 on a bin boundary: the final bin would be empty
+	}
+	for len(s.bins) <= last {
+		s.bins = append(s.bins, 0)
+	}
+	for b := first; b <= last; b++ {
+		lo := math.Max(t0, float64(b)*s.binWidth)
+		hi := math.Min(t1, float64(b+1)*s.binWidth)
+		if hi > lo {
+			s.bins[b] += rate * (hi - lo)
+		}
+	}
+}
+
+// Len returns the number of bins.
+func (s *Series) Len() int { return len(s.bins) }
+
+// Rate returns the mean rate in bin i (service units per second).
+func (s *Series) Rate(i int) float64 {
+	if i < 0 || i >= len(s.bins) {
+		return 0
+	}
+	return s.bins[i] / s.binWidth
+}
+
+// Rates returns the mean rate of every bin.
+func (s *Series) Rates() []float64 {
+	out := make([]float64, len(s.bins))
+	for i := range s.bins {
+		out[i] = s.bins[i] / s.binWidth
+	}
+	return out
+}
+
+// Peak returns the maximum bin rate.
+func (s *Series) Peak() float64 {
+	peak := 0.0
+	for _, b := range s.bins {
+		if r := b / s.binWidth; r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// MeanRate returns the average rate over bins [from, to).
+func (s *Series) MeanRate(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.bins) {
+		to = len(s.bins)
+	}
+	if to <= from {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range s.bins[from:to] {
+		sum += b
+	}
+	return sum / (float64(to-from) * s.binWidth)
+}
+
+// SteadyRate returns the mean rate over the middle portion of the series,
+// discarding the given warmup and cooldown fractions (each in [0, 0.5)).
+// It is useful for reading a saturation plateau off a throughput trace.
+func (s *Series) SteadyRate(warmup, cooldown float64) float64 {
+	n := len(s.bins)
+	if n == 0 {
+		return 0
+	}
+	from := int(float64(n) * warmup)
+	to := n - int(float64(n)*cooldown)
+	return s.MeanRate(from, to)
+}
+
+// Sorted returns a copy of per-bin rates sorted ascending; handy for
+// percentile readings in tests.
+func (s *Series) Sorted() []float64 {
+	out := s.Rates()
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,29 @@
+package loss_test
+
+import (
+	"fmt"
+
+	"cynthia/internal/loss"
+	"cynthia/internal/model"
+)
+
+// Fit Eq. (1) to a noise-free BSP loss curve and invert it for an
+// iteration budget.
+func ExampleFit() {
+	truth := model.LossParams{Beta0: 1200, Beta1: 0.25}
+	var pts []loss.Point
+	for s := 100; s <= 8000; s += 100 {
+		pts = append(pts, loss.Point{Iter: s, Workers: 4, Loss: truth.Loss(model.BSP, float64(s), 4)})
+	}
+	fitted, r2, err := loss.Fit(model.BSP, pts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	w := model.Workload{Sync: model.BSP, Loss: fitted}
+	iters, _ := w.IterationsToLoss(0.8, 4)
+	fmt.Printf("β0=%.0f β1=%.2f R²=%.3f; loss 0.8 needs %d iterations\n",
+		fitted.Beta0, fitted.Beta1, r2, iters)
+	// Output:
+	// β0=1200 β1=0.25 R²=1.000; loss 0.8 needs 2182 iterations
+}

@@ -1,0 +1,86 @@
+// Package loss fits the paper's training-loss model (Eq. 1) to observed
+// loss curves by least-squares regression (Sec. 2, "Summary 2"):
+//
+//	BSP: loss(s)    = β0/s      + β1
+//	ASP: loss(s, n) = β0·√n/s   + β1
+//
+// where s is the iteration index and n the number of workers. The fitted
+// coefficients feed the provisioner's iteration-budget solver.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/model"
+	"cynthia/internal/numeric"
+)
+
+// Point is one observation of the training loss.
+type Point struct {
+	// Iter is the iteration index (1-based).
+	Iter int
+	// Workers is the cluster size the observation came from (only used
+	// for ASP fits; curves from different cluster sizes can be pooled).
+	Workers int
+	// Loss is the observed training loss.
+	Loss float64
+}
+
+// Fit regresses the Eq. (1) model onto the points and returns the fitted
+// coefficients and the R² goodness of fit.
+func Fit(sync model.SyncMode, points []Point) (model.LossParams, float64, error) {
+	if len(points) < 2 {
+		return model.LossParams{}, 0, fmt.Errorf("loss: need >= 2 points, got %d", len(points))
+	}
+	var x [][]float64
+	var y []float64
+	for _, pt := range points {
+		if pt.Iter < 1 {
+			return model.LossParams{}, 0, fmt.Errorf("loss: iteration %d < 1", pt.Iter)
+		}
+		feat := 1 / float64(pt.Iter)
+		if sync == model.ASP {
+			if pt.Workers < 1 {
+				return model.LossParams{}, 0, fmt.Errorf("loss: ASP point needs workers >= 1, got %d", pt.Workers)
+			}
+			feat = math.Sqrt(float64(pt.Workers)) / float64(pt.Iter)
+		}
+		x = append(x, []float64{feat, 1})
+		y = append(y, pt.Loss)
+	}
+	beta, err := numeric.LeastSquares(x, y)
+	if err != nil {
+		return model.LossParams{}, 0, fmt.Errorf("loss: fit failed: %w", err)
+	}
+	params := model.LossParams{Beta0: beta[0], Beta1: beta[1]}
+	pred := make([]float64, len(points))
+	for i, pt := range points {
+		pred[i] = params.Loss(sync, float64(pt.Iter), pt.Workers)
+	}
+	return params, numeric.RSquared(y, pred), nil
+}
+
+// PointsFromResult converts a simulated training run's loss curve into fit
+// observations.
+func PointsFromResult(res *ddnnsim.Result, workers int) []Point {
+	out := make([]Point, 0, len(res.Loss))
+	for _, lp := range res.Loss {
+		out = append(out, Point{Iter: lp.Iter, Workers: workers, Loss: lp.Loss})
+	}
+	return out
+}
+
+// Subsample keeps every k-th point, which speeds up fits on dense curves
+// without materially changing the coefficients.
+func Subsample(points []Point, k int) []Point {
+	if k <= 1 {
+		return points
+	}
+	var out []Point
+	for i := 0; i < len(points); i += k {
+		out = append(out, points[i])
+	}
+	return out
+}

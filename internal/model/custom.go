@@ -1,0 +1,116 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CustomWorkload builds a workload directly from measured or assumed
+// characteristics, without a layer graph. This is how a user brings their
+// own model to the provisioner: witer and gparam from a profiling run (or
+// back-of-envelope math), loss coefficients from a fitted curve.
+func CustomWorkload(name string, witerGFLOPs, gparamMB float64, batch, iterations int,
+	sync SyncMode, psCPUPerMB float64, loss LossParams) (*Workload, error) {
+	if name == "" {
+		return nil, fmt.Errorf("model: custom workload needs a name")
+	}
+	if witerGFLOPs <= 0 || gparamMB <= 0 {
+		return nil, fmt.Errorf("model: custom workload %s needs positive witer and gparam", name)
+	}
+	if batch <= 0 || iterations <= 0 {
+		return nil, fmt.Errorf("model: custom workload %s needs positive batch and iterations", name)
+	}
+	if psCPUPerMB < 0 {
+		return nil, fmt.Errorf("model: custom workload %s has negative PS CPU cost", name)
+	}
+	return &Workload{
+		Name:        name,
+		Batch:       batch,
+		Iterations:  iterations,
+		Sync:        sync,
+		Dataset:     "custom",
+		WiterGFLOPs: witerGFLOPs,
+		GparamMB:    gparamMB,
+		PSCPUPerMB:  psCPUPerMB,
+		Loss:        loss,
+	}, nil
+}
+
+// workloadJSON is the serialized form of a Workload. The layer graph is
+// not serialized; deserialized workloads behave as custom workloads.
+type workloadJSON struct {
+	Name        string  `json:"name"`
+	Batch       int     `json:"batch"`
+	Iterations  int     `json:"iterations"`
+	Sync        string  `json:"sync"`
+	Dataset     string  `json:"dataset,omitempty"`
+	WiterGFLOPs float64 `json:"witer_gflops"`
+	GparamMB    float64 `json:"gparam_mb"`
+	PSCPUPerMB  float64 `json:"ps_cpu_per_mb"`
+	LossBeta0   float64 `json:"loss_beta0"`
+	LossBeta1   float64 `json:"loss_beta1"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (w *Workload) MarshalJSON() ([]byte, error) {
+	return json.Marshal(workloadJSON{
+		Name:        w.Name,
+		Batch:       w.Batch,
+		Iterations:  w.Iterations,
+		Sync:        w.Sync.String(),
+		Dataset:     w.Dataset,
+		WiterGFLOPs: w.WiterGFLOPs,
+		GparamMB:    w.GparamMB,
+		PSCPUPerMB:  w.PSCPUPerMB,
+		LossBeta0:   w.Loss.Beta0,
+		LossBeta1:   w.Loss.Beta1,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (w *Workload) UnmarshalJSON(data []byte) error {
+	var v workloadJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	return w.fromWire(v)
+}
+
+// fromWire validates and installs a decoded wire form.
+func (w *Workload) fromWire(v workloadJSON) error {
+	var sync SyncMode
+	switch v.Sync {
+	case "BSP", "bsp", "":
+		sync = BSP
+	case "ASP", "asp":
+		sync = ASP
+	default:
+		return fmt.Errorf("model: unknown sync mode %q", v.Sync)
+	}
+	cw, err := CustomWorkload(v.Name, v.WiterGFLOPs, v.GparamMB, v.Batch, v.Iterations,
+		sync, v.PSCPUPerMB, LossParams{Beta0: v.LossBeta0, Beta1: v.LossBeta1})
+	if err != nil {
+		return err
+	}
+	if v.Dataset != "" {
+		cw.Dataset = v.Dataset
+	}
+	*w = *cw
+	return nil
+}
+
+// ReadWorkload decodes one workload from JSON, rejecting unknown fields.
+func ReadWorkload(r io.Reader) (*Workload, error) {
+	var v workloadJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("model: decoding workload: %w", err)
+	}
+	var w Workload
+	if err := w.fromWire(v); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}

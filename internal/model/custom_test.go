@@ -1,0 +1,111 @@
+package model
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCustomWorkloadValidation(t *testing.T) {
+	good := func() (*Workload, error) {
+		return CustomWorkload("my-net", 10, 5, 64, 1000, BSP, 0.02, LossParams{Beta0: 100, Beta1: 0.1})
+	}
+	if _, err := good(); err != nil {
+		t.Fatalf("valid custom workload rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		fn   func() (*Workload, error)
+	}{
+		{"empty name", func() (*Workload, error) {
+			return CustomWorkload("", 10, 5, 64, 1000, BSP, 0.02, LossParams{})
+		}},
+		{"zero witer", func() (*Workload, error) {
+			return CustomWorkload("x", 0, 5, 64, 1000, BSP, 0.02, LossParams{})
+		}},
+		{"zero gparam", func() (*Workload, error) {
+			return CustomWorkload("x", 10, 0, 64, 1000, BSP, 0.02, LossParams{})
+		}},
+		{"zero batch", func() (*Workload, error) {
+			return CustomWorkload("x", 10, 5, 0, 1000, BSP, 0.02, LossParams{})
+		}},
+		{"zero iterations", func() (*Workload, error) {
+			return CustomWorkload("x", 10, 5, 64, 0, BSP, 0.02, LossParams{})
+		}},
+		{"negative ps cost", func() (*Workload, error) {
+			return CustomWorkload("x", 10, 5, 64, 1000, BSP, -1, LossParams{})
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	orig, err := CustomWorkload("my-net", 12.5, 3.25, 128, 4000, ASP, 0.015,
+		LossParams{Beta0: 250, Beta1: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Sync != ASP || back.Batch != 128 ||
+		back.Iterations != 4000 || back.WiterGFLOPs != 12.5 || back.GparamMB != 3.25 ||
+		back.PSCPUPerMB != 0.015 || back.Loss != orig.Loss {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestZooWorkloadSerializes(t *testing.T) {
+	w, err := WorkloadByName("VGG-19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WiterGFLOPs != w.WiterGFLOPs || back.GparamMB != w.GparamMB {
+		t.Errorf("zoo round trip lost derived parameters: %+v", back)
+	}
+	if back.Net != nil {
+		t.Error("layer graph should not survive serialization")
+	}
+}
+
+func TestReadWorkloadErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name": "x", "witer_gflops": 1, "gparam_mb": 1, "batch": 1, "iterations": 1, "sync": "SSP"}`,
+		`{"name": "", "witer_gflops": 1, "gparam_mb": 1, "batch": 1, "iterations": 1}`,
+		`{"name": "x", "witer_gflops": 1, "gparam_mb": 1, "batch": 1, "iterations": 1, "bogus": true}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadWorkload(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestReadWorkloadDefaultsBSP(t *testing.T) {
+	w, err := ReadWorkload(strings.NewReader(
+		`{"name": "x", "witer_gflops": 1, "gparam_mb": 1, "batch": 1, "iterations": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Sync != BSP {
+		t.Errorf("default sync = %v, want BSP", w.Sync)
+	}
+}

@@ -1,0 +1,28 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadWorkload: arbitrary JSON must never panic, and any accepted
+// workload must be internally valid.
+func FuzzReadWorkload(f *testing.F) {
+	f.Add(`{"name":"x","witer_gflops":1,"gparam_mb":1,"batch":1,"iterations":1}`)
+	f.Add(`{"name":"y","witer_gflops":2.5,"gparam_mb":9,"batch":64,"iterations":100,"sync":"ASP","loss_beta0":10,"loss_beta1":0.1}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`"hi"`)
+	f.Fuzz(func(t *testing.T, data string) {
+		w, err := ReadWorkload(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if w.Name == "" || w.WiterGFLOPs <= 0 || w.GparamMB <= 0 || w.Batch <= 0 || w.Iterations <= 0 {
+			t.Fatalf("accepted invalid workload: %+v", w)
+		}
+		if w.Sync != BSP && w.Sync != ASP {
+			t.Fatalf("accepted unknown sync: %v", w.Sync)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package model
+
+// ResNet-50 on ImageNet-scale inputs implements the paper's future work
+// (Sec. 7: "examine the effectiveness of Cynthia with other DNN models and
+// training datasets (e.g., ResNet-50 on the ImageNet dataset)").
+
+// ResNet50 returns the 50-layer bottleneck residual network for 224x224x3
+// inputs: conv7x7/2 + maxpool + stages of [3,4,6,3] bottleneck blocks +
+// global average pooling + a 1000-way classifier (~25.5M parameters,
+// ~8 GFLOPs forward per sample with 2 FLOPs/MAC).
+func ResNet50() *Network {
+	layers := []Layer{
+		Conv2D{Filters: 64, Kernel: 7, Stride: 2, Same: true}, BatchNorm{}, ReLU{},
+		MaxPool{Kernel: 3, Stride: 2},
+	}
+	bottleneck := func(mid, out, stride int) Layer {
+		return Residual{Body: []Layer{
+			Conv2D{Filters: mid, Kernel: 1, Stride: stride, Same: true}, BatchNorm{}, ReLU{},
+			Conv2D{Filters: mid, Kernel: 3, Stride: 1, Same: true}, BatchNorm{}, ReLU{},
+			Conv2D{Filters: out, Kernel: 1, Stride: 1, Same: true}, BatchNorm{},
+		}}
+	}
+	stage := func(mid, out, blocks, stride int) {
+		for b := 0; b < blocks; b++ {
+			s := 1
+			if b == 0 {
+				s = stride
+			}
+			layers = append(layers, bottleneck(mid, out, s), ReLU{})
+		}
+	}
+	stage(64, 256, 3, 1)
+	stage(128, 512, 4, 2)
+	stage(256, 1024, 6, 2)
+	stage(512, 2048, 3, 2)
+	layers = append(layers, GlobalAvgPool{}, Dense{Out: 1000}, Softmax{})
+	return &Network{NetName: "ResNet-50", Input: Shape{H: 224, W: 224, C: 3}, Layers: layers}
+}
+
+// ResNet50Workload returns the extension workload: ResNet-50 on an
+// ImageNet-scale dataset with BSP, batch 256. The loss coefficients model
+// a short fine-tuning-style run (reaching ~2.0 cross-entropy within ~2000
+// iterations); PSCPUPerMB is low because GPU-tier instances pair the
+// accelerator with ample host CPU for the PS path.
+func ResNet50Workload() *Workload {
+	w, err := NewWorkload(ResNet50(), 256, 2000, BSP, "imagenet",
+		0.002, LossParams{Beta0: 2200, Beta1: 0.9})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return w
+}

@@ -1,0 +1,94 @@
+package model
+
+// The model zoo: the four benchmark architectures from the paper's Table 1.
+// All are cifar/mnist-scale variants. Exact layer widths are calibrated so
+// the derived (witer, gparam) land in the regimes the paper measures (its
+// Table 4); see EXPERIMENTS.md for the side-by-side numbers.
+
+// MnistDNN returns the mnist DNN: a 784-512-512-10 multilayer perceptron.
+// Its parameter volume is large relative to its per-iteration compute, so
+// with BSP it stresses the parameter server (paper Fig. 1(b), Table 2,
+// Fig. 2).
+func MnistDNN() *Network {
+	return &Network{
+		NetName: "mnist DNN",
+		Input:   Shape{H: 1, W: 1, C: 784},
+		Layers: []Layer{
+			Dense{Out: 512}, ReLU{},
+			Dense{Out: 512}, ReLU{},
+			Dense{Out: 10}, Softmax{},
+		},
+	}
+}
+
+// Cifar10DNN returns the cifar10 DNN: the TensorFlow tutorial CNN
+// (two 5x5 conv + pool stages and three dense layers) on 24x24 random
+// crops of cifar-10 images.
+func Cifar10DNN() *Network {
+	return &Network{
+		NetName: "cifar10 DNN",
+		Input:   Shape{H: 24, W: 24, C: 3},
+		Layers: []Layer{
+			Conv2D{Filters: 64, Kernel: 5, Stride: 1, Same: true}, ReLU{},
+			MaxPool{Kernel: 3, Stride: 2},
+			Conv2D{Filters: 64, Kernel: 5, Stride: 1, Same: true}, ReLU{},
+			MaxPool{Kernel: 3, Stride: 2},
+			Dense{Out: 384}, ReLU{},
+			Dense{Out: 192}, ReLU{},
+			Dense{Out: 10}, Softmax{},
+		},
+	}
+}
+
+// ResNet32 returns the 32-layer residual network for cifar-10: three
+// stages of five basic blocks with 16/32/64 channels.
+func ResNet32() *Network {
+	layers := []Layer{
+		Conv2D{Filters: 16, Kernel: 3, Stride: 1, Same: true}, BatchNorm{}, ReLU{},
+	}
+	stage := func(channels, stride, blocks int) {
+		for b := 0; b < blocks; b++ {
+			s := 1
+			if b == 0 {
+				s = stride
+			}
+			layers = append(layers, Residual{Body: []Layer{
+				Conv2D{Filters: channels, Kernel: 3, Stride: s, Same: true}, BatchNorm{}, ReLU{},
+				Conv2D{Filters: channels, Kernel: 3, Stride: 1, Same: true}, BatchNorm{},
+			}}, ReLU{})
+		}
+	}
+	stage(16, 1, 5)
+	stage(32, 2, 5)
+	stage(64, 2, 5)
+	layers = append(layers, GlobalAvgPool{}, Dense{Out: 10}, Softmax{})
+	return &Network{NetName: "ResNet-32", Input: Shape{H: 32, W: 32, C: 3}, Layers: layers}
+}
+
+// VGG19 returns a VGG-19 variant for cifar-10 with quarter-width
+// convolutions and a 4096-wide classifier head: 16 conv + 3 dense = 19
+// weight layers. The widths preserve the paper's key property: parameter
+// volume (~80 MB, dominated by the dense head) is enormous relative to
+// per-iteration compute, so ASP training saturates the PS NIC at around 9
+// workers (Fig. 6(a), Fig. 7).
+func VGG19() *Network {
+	layers := []Layer{}
+	block := func(channels, convs int) {
+		for i := 0; i < convs; i++ {
+			layers = append(layers,
+				Conv2D{Filters: channels, Kernel: 3, Stride: 1, Same: true}, ReLU{})
+		}
+		layers = append(layers, MaxPool{Kernel: 2, Stride: 2})
+	}
+	block(16, 2)
+	block(32, 2)
+	block(64, 4)
+	block(128, 4)
+	block(256, 4)
+	layers = append(layers,
+		Dense{Out: 4096}, ReLU{},
+		Dense{Out: 4096}, ReLU{},
+		Dense{Out: 10}, Softmax{},
+	)
+	return &Network{NetName: "VGG-19", Input: Shape{H: 32, W: 32, C: 3}, Layers: layers}
+}

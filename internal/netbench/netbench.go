@@ -1,0 +1,125 @@
+// Package netbench is the repository's stand-in for netperf (paper
+// Sec. 3): Cynthia measures each instance type's NIC bandwidth once. Two
+// paths are provided: a real TCP loopback measurement (exercised by the
+// real PS framework's deployments) and a catalog lookup for simulated
+// instances.
+package netbench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cynthia/internal/cloud"
+)
+
+// Result is one bandwidth/latency measurement.
+type Result struct {
+	// MBps is the sustained throughput in MB/s (1 MB = 1e6 bytes).
+	MBps float64
+	// RTT is the measured small-message round-trip time.
+	RTT time.Duration
+	// Bytes is the volume transferred for the throughput figure.
+	Bytes int64
+}
+
+// Loopback measures TCP throughput and RTT over 127.0.0.1 by streaming
+// totalBytes through a socket pair. It is a real measurement of this
+// host's loopback path.
+func Loopback(totalBytes int64) (Result, error) {
+	if totalBytes < 1 {
+		return Result{}, fmt.Errorf("netbench: byte count %d < 1", totalBytes)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	defer ln.Close()
+
+	type srvOut struct {
+		n   int64
+		err error
+	}
+	done := make(chan srvOut, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- srvOut{0, err}
+			return
+		}
+		defer conn.Close()
+		// Echo one ping byte for the RTT probe, then sink the stream.
+		one := make([]byte, 1)
+		if _, err := io.ReadFull(conn, one); err != nil {
+			done <- srvOut{0, err}
+			return
+		}
+		if _, err := conn.Write(one); err != nil {
+			done <- srvOut{0, err}
+			return
+		}
+		n, err := io.Copy(io.Discard, conn)
+		if err != nil {
+			done <- srvOut{n, err}
+			return
+		}
+		done <- srvOut{n, nil}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return Result{}, err
+	}
+
+	// RTT probe.
+	pingStart := time.Now()
+	if _, err := conn.Write([]byte{1}); err != nil {
+		conn.Close()
+		return Result{}, err
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		conn.Close()
+		return Result{}, err
+	}
+	rtt := time.Since(pingStart)
+
+	// Throughput stream.
+	buf := make([]byte, 256<<10)
+	start := time.Now()
+	var sent int64
+	for sent < totalBytes {
+		chunk := int64(len(buf))
+		if totalBytes-sent < chunk {
+			chunk = totalBytes - sent
+		}
+		n, err := conn.Write(buf[:chunk])
+		sent += int64(n)
+		if err != nil {
+			conn.Close()
+			return Result{}, err
+		}
+	}
+	if err := conn.Close(); err != nil {
+		return Result{}, err
+	}
+	out := <-done
+	if out.err != nil {
+		return Result{}, out.err
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return Result{
+		MBps:  float64(out.n) / 1e6 / elapsed,
+		RTT:   rtt,
+		Bytes: out.n,
+	}, nil
+}
+
+// Simulated returns the measurement a netperf run against a simulated
+// instance would report: the catalog NIC bandwidth.
+func Simulated(t cloud.InstanceType) Result {
+	return Result{MBps: t.NetMBps, RTT: 500 * time.Microsecond}
+}

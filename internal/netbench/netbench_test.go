@@ -1,0 +1,47 @@
+package netbench
+
+import (
+	"testing"
+
+	"cynthia/internal/cloud"
+)
+
+func TestLoopbackValidation(t *testing.T) {
+	if _, err := Loopback(0); err == nil {
+		t.Error("zero bytes accepted")
+	}
+}
+
+func TestLoopbackMeasures(t *testing.T) {
+	res, err := Loopback(8 << 20) // 8 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 8<<20 {
+		t.Errorf("bytes = %d, want %d", res.Bytes, 8<<20)
+	}
+	if res.MBps <= 0 {
+		t.Errorf("throughput = %v", res.MBps)
+	}
+	if res.RTT <= 0 {
+		t.Errorf("rtt = %v", res.RTT)
+	}
+	// Loopback should comfortably exceed 50 MB/s on any machine.
+	if res.MBps < 50 {
+		t.Errorf("loopback throughput %v MB/s implausibly low", res.MBps)
+	}
+}
+
+func TestSimulated(t *testing.T) {
+	m4, err := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Simulated(m4)
+	if res.MBps != m4.NetMBps {
+		t.Errorf("MBps = %v, want %v", res.MBps, m4.NetMBps)
+	}
+	if res.RTT <= 0 {
+		t.Error("rtt not set")
+	}
+}

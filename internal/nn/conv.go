@@ -1,0 +1,500 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cynthia/internal/tensor"
+)
+
+// ConvNet is a real trainable convolutional network — the genuine
+// counterpart of the cifar10-DNN-style workloads the paper trains.
+// Activations flow as NHWC tensors flattened per sample into matrix rows;
+// convolutions use im2col + GEMM with exact backpropagation.
+//
+// Build one with the Add* methods, finishing with a dense classifier:
+//
+//	cn, _ := nn.NewConvNet(24, 24, 3, rng)
+//	cn.AddConv(16, 3, 1)
+//	cn.AddReLU()
+//	cn.AddMaxPool(2, 2)
+//	cn.AddDense(10)
+type ConvNet struct {
+	rng     *rand.Rand
+	layers  []convLayer
+	h, w, c int // current output shape during construction
+	built   bool
+	scratch []float64
+}
+
+// convLayer is one stage of the network. Forward caches whatever backward
+// needs; layers are owned by a single goroutine.
+type convLayer interface {
+	forward(x *tensor.Dense) *tensor.Dense
+	backward(dout *tensor.Dense) *tensor.Dense
+	// params and grads return flat views (nil if parameterless).
+	params() []float64
+	grads() []float64
+}
+
+// NewConvNet starts a network over h x w x c inputs.
+func NewConvNet(h, w, c int, rng *rand.Rand) (*ConvNet, error) {
+	if h < 1 || w < 1 || c < 1 {
+		return nil, fmt.Errorf("nn: conv input %dx%dx%d invalid", h, w, c)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: conv net needs a rand source")
+	}
+	return &ConvNet{rng: rng, h: h, w: w, c: c}, nil
+}
+
+// AddConv appends a SAME-padded square convolution.
+func (cn *ConvNet) AddConv(filters, kernel, stride int) error {
+	if cn.built {
+		return fmt.Errorf("nn: network already finalized by AddDense")
+	}
+	if filters < 1 || kernel < 1 || stride < 1 {
+		return fmt.Errorf("nn: bad conv config %d/%d/%d", filters, kernel, stride)
+	}
+	outH := (cn.h + stride - 1) / stride
+	outW := (cn.w + stride - 1) / stride
+	nw := kernel * kernel * cn.c * filters
+	// Weights and biases share one backing array so params()/grads()
+	// return stable views that SetParams can write through.
+	pbuf := make([]float64, nw+filters)
+	gbuf := make([]float64, nw+filters)
+	l := &convOp{
+		inH: cn.h, inW: cn.w, inC: cn.c,
+		outH: outH, outW: outW, outC: filters,
+		k: kernel, stride: stride,
+		pbuf: pbuf, gbuf: gbuf,
+		w:  tensor.FromSlice(kernel*kernel*cn.c, filters, pbuf[:nw]),
+		b:  pbuf[nw:],
+		dw: tensor.FromSlice(kernel*kernel*cn.c, filters, gbuf[:nw]),
+		db: gbuf[nw:],
+	}
+	l.w.Randomize(cn.rng, kernel*kernel*cn.c)
+	cn.layers = append(cn.layers, l)
+	cn.h, cn.w, cn.c = outH, outW, filters
+	return nil
+}
+
+// AddReLU appends an elementwise rectifier.
+func (cn *ConvNet) AddReLU() error {
+	if cn.built {
+		return fmt.Errorf("nn: network already finalized by AddDense")
+	}
+	cn.layers = append(cn.layers, &reluOp{})
+	return nil
+}
+
+// AddMaxPool appends max pooling with the given window and stride.
+func (cn *ConvNet) AddMaxPool(window, stride int) error {
+	if cn.built {
+		return fmt.Errorf("nn: network already finalized by AddDense")
+	}
+	if window < 1 || stride < 1 {
+		return fmt.Errorf("nn: bad pool config %d/%d", window, stride)
+	}
+	outH := (cn.h + stride - 1) / stride
+	outW := (cn.w + stride - 1) / stride
+	cn.layers = append(cn.layers, &poolOp{
+		inH: cn.h, inW: cn.w, c: cn.c,
+		outH: outH, outW: outW, k: window, stride: stride,
+	})
+	cn.h, cn.w = outH, outW
+	return nil
+}
+
+// AddDense appends the final fully connected classifier over the
+// flattened activations and finalizes the network.
+func (cn *ConvNet) AddDense(out int) error {
+	if cn.built {
+		return fmt.Errorf("nn: network already finalized")
+	}
+	if out < 1 {
+		return fmt.Errorf("nn: dense with %d outputs", out)
+	}
+	in := cn.h * cn.w * cn.c
+	nw := in * out
+	pbuf := make([]float64, nw+out)
+	gbuf := make([]float64, nw+out)
+	l := &denseOp{
+		in: in, out: out,
+		pbuf: pbuf, gbuf: gbuf,
+		w:  tensor.FromSlice(in, out, pbuf[:nw]),
+		b:  pbuf[nw:],
+		dw: tensor.FromSlice(in, out, gbuf[:nw]),
+		db: gbuf[nw:],
+	}
+	l.w.Randomize(cn.rng, in)
+	cn.layers = append(cn.layers, l)
+	cn.h, cn.w, cn.c = 1, 1, out
+	cn.built = true
+	return nil
+}
+
+// InputSize returns the flattened per-sample input width the network
+// expects.
+func (cn *ConvNet) InputSize() int {
+	if len(cn.layers) == 0 {
+		return cn.h * cn.w * cn.c
+	}
+	if c, ok := cn.layers[0].(*convOp); ok {
+		return c.inH * c.inW * c.inC
+	}
+	if p, ok := cn.layers[0].(*poolOp); ok {
+		return p.inH * p.inW * p.c
+	}
+	if d, ok := cn.layers[0].(*denseOp); ok {
+		return d.in
+	}
+	return cn.h * cn.w * cn.c
+}
+
+// NumParams implements Model.
+func (cn *ConvNet) NumParams() int {
+	total := 0
+	for _, l := range cn.layers {
+		total += len(l.params())
+	}
+	return total
+}
+
+// FlattenParams implements Model.
+func (cn *ConvNet) FlattenParams(dst []float64) error {
+	return cn.flatten(dst, convLayer.params)
+}
+
+// SetParams implements Model.
+func (cn *ConvNet) SetParams(src []float64) error {
+	if len(src) != cn.NumParams() {
+		return fmt.Errorf("nn: %d values for %d params", len(src), cn.NumParams())
+	}
+	off := 0
+	for _, l := range cn.layers {
+		p := l.params()
+		off += copy(p, src[off:off+len(p)])
+	}
+	return nil
+}
+
+func (cn *ConvNet) flatten(dst []float64, get func(convLayer) []float64) error {
+	if len(dst) != cn.NumParams() {
+		return fmt.Errorf("nn: buffer %d for %d params", len(dst), cn.NumParams())
+	}
+	off := 0
+	for _, l := range cn.layers {
+		off += copy(dst[off:], get(l))
+	}
+	return nil
+}
+
+// Forward computes the pre-softmax logits for a batch.
+func (cn *ConvNet) Forward(x *tensor.Dense) *tensor.Dense {
+	cur := x
+	for _, l := range cn.layers {
+		cur = l.forward(cur)
+	}
+	return cur
+}
+
+// LossAndGradFlat implements Model.
+func (cn *ConvNet) LossAndGradFlat(x *tensor.Dense, labels []int, gradOut []float64) (float64, error) {
+	if !cn.built {
+		return 0, fmt.Errorf("nn: conv net has no classifier (call AddDense)")
+	}
+	if x.Rows != len(labels) {
+		return 0, fmt.Errorf("nn: %d samples vs %d labels", x.Rows, len(labels))
+	}
+	if x.Cols != cn.InputSize() {
+		return 0, fmt.Errorf("nn: input width %d, want %d", x.Cols, cn.InputSize())
+	}
+	logits := cn.Forward(x)
+	probs := logits.Clone()
+	tensor.SoftmaxRows(probs)
+	batch := float64(x.Rows)
+	loss := 0.0
+	for i, label := range labels {
+		if label < 0 || label >= probs.Cols {
+			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", label, probs.Cols)
+		}
+		loss -= math.Log(math.Max(probs.At(i, label), 1e-300))
+	}
+	loss /= batch
+
+	delta := probs
+	for i, label := range labels {
+		delta.Set(i, label, delta.At(i, label)-1)
+	}
+	tensor.Scale(1/batch, delta.Data)
+	for i := len(cn.layers) - 1; i >= 0; i-- {
+		delta = cn.layers[i].backward(delta)
+	}
+	return loss, cn.flatten(gradOut, convLayer.grads)
+}
+
+// Loss implements Model.
+func (cn *ConvNet) Loss(x *tensor.Dense, labels []int) (float64, error) {
+	if cn.scratch == nil {
+		cn.scratch = make([]float64, cn.NumParams())
+	}
+	return cn.LossAndGradFlat(x, labels, cn.scratch)
+}
+
+// Accuracy implements Model.
+func (cn *ConvNet) Accuracy(x *tensor.Dense, labels []int) float64 {
+	logits := cn.Forward(x)
+	correct := 0
+	for i, label := range labels {
+		if logits.ArgMaxRow(i) == label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+var _ Model = (*ConvNet)(nil)
+
+// --- layer implementations ---
+
+// convOp is a SAME-padded convolution via im2col + GEMM.
+type convOp struct {
+	inH, inW, inC    int
+	outH, outW, outC int
+	k, stride        int
+	pbuf, gbuf       []float64       // contiguous parameter/gradient storage
+	w                *tensor.Dense   // view into pbuf: [k*k*inC, outC]
+	b                []float64       // view into pbuf
+	dw               *tensor.Dense   // view into gbuf
+	db               []float64       // view into gbuf
+	cols             []*tensor.Dense // cached per-sample im2col matrices
+}
+
+// pad computes the SAME padding offset on the top/left.
+func (c *convOp) pad() int {
+	// Total padding so that outH = ceil(inH/stride) with the kernel
+	// centered: pad = ((outH-1)*stride + k - inH) / 2, floored at 0.
+	total := (c.outH-1)*c.stride + c.k - c.inH
+	if total < 0 {
+		total = 0
+	}
+	return total / 2
+}
+
+// im2col expands one sample (flattened NHWC row) into a
+// [outH*outW, k*k*inC] patch matrix.
+func (c *convOp) im2col(row []float64) *tensor.Dense {
+	col := tensor.NewDense(c.outH*c.outW, c.k*c.k*c.inC)
+	p := c.pad()
+	for oy := 0; oy < c.outH; oy++ {
+		for ox := 0; ox < c.outW; ox++ {
+			dst := col.Row(oy*c.outW + ox)
+			idx := 0
+			for ky := 0; ky < c.k; ky++ {
+				iy := oy*c.stride + ky - p
+				for kx := 0; kx < c.k; kx++ {
+					ix := ox*c.stride + kx - p
+					if iy >= 0 && iy < c.inH && ix >= 0 && ix < c.inW {
+						src := (iy*c.inW + ix) * c.inC
+						copy(dst[idx:idx+c.inC], row[src:src+c.inC])
+					}
+					idx += c.inC
+				}
+			}
+		}
+	}
+	return col
+}
+
+// col2im scatters a patch-gradient matrix back onto the input row.
+func (c *convOp) col2im(dcol *tensor.Dense, dst []float64) {
+	p := c.pad()
+	for oy := 0; oy < c.outH; oy++ {
+		for ox := 0; ox < c.outW; ox++ {
+			src := dcol.Row(oy*c.outW + ox)
+			idx := 0
+			for ky := 0; ky < c.k; ky++ {
+				iy := oy*c.stride + ky - p
+				for kx := 0; kx < c.k; kx++ {
+					ix := ox*c.stride + kx - p
+					if iy >= 0 && iy < c.inH && ix >= 0 && ix < c.inW {
+						d := (iy*c.inW + ix) * c.inC
+						for ch := 0; ch < c.inC; ch++ {
+							dst[d+ch] += src[idx+ch]
+						}
+					}
+					idx += c.inC
+				}
+			}
+		}
+	}
+}
+
+func (c *convOp) forward(x *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(x.Rows, c.outH*c.outW*c.outC)
+	c.cols = c.cols[:0]
+	for s := 0; s < x.Rows; s++ {
+		col := c.im2col(x.Row(s))
+		c.cols = append(c.cols, col)
+		y := tensor.NewDense(c.outH*c.outW, c.outC)
+		tensor.MatMul(y, col, c.w)
+		tensor.AddRowVector(y, c.b)
+		copy(out.Row(s), y.Data)
+	}
+	return out
+}
+
+func (c *convOp) backward(dout *tensor.Dense) *tensor.Dense {
+	c.dw.Zero()
+	for i := range c.db {
+		c.db[i] = 0
+	}
+	dx := tensor.NewDense(dout.Rows, c.inH*c.inW*c.inC)
+	dwAcc := tensor.NewDense(c.dw.Rows, c.dw.Cols)
+	for s := 0; s < dout.Rows; s++ {
+		dy := tensor.FromSlice(c.outH*c.outW, c.outC, dout.Row(s))
+		// dW += colᵀ · dy
+		tensor.MatMulATB(dwAcc, c.cols[s], dy)
+		tensor.Axpy(1, dwAcc.Data, c.dw.Data)
+		// db += column sums of dy
+		for r := 0; r < dy.Rows; r++ {
+			row := dy.Row(r)
+			for j, v := range row {
+				c.db[j] += v
+			}
+		}
+		// dcol = dy · Wᵀ, scattered back to the input.
+		dcol := tensor.NewDense(c.outH*c.outW, c.k*c.k*c.inC)
+		tensor.MatMulABT(dcol, dy, c.w)
+		c.col2im(dcol, dx.Row(s))
+	}
+	return dx
+}
+
+func (c *convOp) params() []float64 { return c.pbuf }
+func (c *convOp) grads() []float64  { return c.gbuf }
+
+// reluOp is an elementwise rectifier.
+type reluOp struct {
+	mask *tensor.Dense
+}
+
+func (r *reluOp) forward(x *tensor.Dense) *tensor.Dense {
+	out := x.Clone()
+	r.mask = tensor.NewDense(x.Rows, x.Cols)
+	tensor.ReLUForward(out, r.mask)
+	return out
+}
+
+func (r *reluOp) backward(dout *tensor.Dense) *tensor.Dense {
+	dx := dout.Clone()
+	tensor.MulElem(dx, r.mask)
+	return dx
+}
+
+func (r *reluOp) params() []float64 { return nil }
+func (r *reluOp) grads() []float64  { return nil }
+
+// poolOp is SAME-padded max pooling.
+type poolOp struct {
+	inH, inW, c int
+	outH, outW  int
+	k, stride   int
+	argmax      []int // flat input index chosen per output element
+	rows        int
+}
+
+func (p *poolOp) forward(x *tensor.Dense) *tensor.Dense {
+	p.rows = x.Rows
+	out := tensor.NewDense(x.Rows, p.outH*p.outW*p.c)
+	p.argmax = make([]int, x.Rows*p.outH*p.outW*p.c)
+	for s := 0; s < x.Rows; s++ {
+		row := x.Row(s)
+		orow := out.Row(s)
+		for oy := 0; oy < p.outH; oy++ {
+			for ox := 0; ox < p.outW; ox++ {
+				for ch := 0; ch < p.c; ch++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.k; ky++ {
+						iy := oy*p.stride + ky
+						if iy >= p.inH {
+							break
+						}
+						for kx := 0; kx < p.k; kx++ {
+							ix := ox*p.stride + kx
+							if ix >= p.inW {
+								break
+							}
+							idx := (iy*p.inW+ix)*p.c + ch
+							if row[idx] > best {
+								best = row[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					o := (oy*p.outW+ox)*p.c + ch
+					orow[o] = best
+					p.argmax[s*len(orow)+o] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *poolOp) backward(dout *tensor.Dense) *tensor.Dense {
+	dx := tensor.NewDense(p.rows, p.inH*p.inW*p.c)
+	per := dout.Cols
+	for s := 0; s < dout.Rows; s++ {
+		drow := dout.Row(s)
+		xrow := dx.Row(s)
+		for o, v := range drow {
+			xrow[p.argmax[s*per+o]] += v
+		}
+	}
+	return dx
+}
+
+func (p *poolOp) params() []float64 { return nil }
+func (p *poolOp) grads() []float64  { return nil }
+
+// denseOp is the fully connected classifier head.
+type denseOp struct {
+	in, out    int
+	pbuf, gbuf []float64
+	w          *tensor.Dense // view into pbuf
+	b          []float64
+	dw         *tensor.Dense // view into gbuf
+	db         []float64
+	x          *tensor.Dense // cached input
+}
+
+func (d *denseOp) forward(x *tensor.Dense) *tensor.Dense {
+	d.x = x
+	out := tensor.NewDense(x.Rows, d.out)
+	tensor.MatMul(out, x, d.w)
+	tensor.AddRowVector(out, d.b)
+	return out
+}
+
+func (d *denseOp) backward(dout *tensor.Dense) *tensor.Dense {
+	tensor.MatMulATB(d.dw, d.x, dout)
+	for i := range d.db {
+		d.db[i] = 0
+	}
+	for r := 0; r < dout.Rows; r++ {
+		row := dout.Row(r)
+		for j, v := range row {
+			d.db[j] += v
+		}
+	}
+	dx := tensor.NewDense(dout.Rows, d.in)
+	tensor.MatMulABT(dx, dout, d.w)
+	return dx
+}
+
+func (d *denseOp) params() []float64 { return d.pbuf }
+func (d *denseOp) grads() []float64  { return d.gbuf }

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cynthia/internal/tensor"
+)
+
+// smallConvNet builds a tiny cifar-tutorial-shaped CNN for tests.
+func smallConvNet(t *testing.T, seed int64) *ConvNet {
+	t.Helper()
+	cn, err := NewConvNet(6, 6, 2, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.AddConv(4, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.AddReLU(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.AddMaxPool(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.AddDense(3); err != nil {
+		t.Fatal(err)
+	}
+	return cn
+}
+
+func TestNewConvNetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewConvNet(0, 4, 1, rng); err == nil {
+		t.Error("zero height accepted")
+	}
+	if _, err := NewConvNet(4, 4, 1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	cn, _ := NewConvNet(4, 4, 1, rng)
+	if err := cn.AddConv(0, 3, 1); err == nil {
+		t.Error("zero filters accepted")
+	}
+	if err := cn.AddMaxPool(0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := cn.AddDense(0); err == nil {
+		t.Error("zero outputs accepted")
+	}
+	if err := cn.AddDense(3); err != nil {
+		t.Fatal(err)
+	}
+	// Finalized: further layers rejected.
+	if err := cn.AddConv(4, 3, 1); err == nil {
+		t.Error("conv after dense accepted")
+	}
+	if err := cn.AddReLU(); err == nil {
+		t.Error("relu after dense accepted")
+	}
+	if err := cn.AddMaxPool(2, 2); err == nil {
+		t.Error("pool after dense accepted")
+	}
+	if err := cn.AddDense(3); err == nil {
+		t.Error("second dense accepted")
+	}
+}
+
+func TestConvNetShapes(t *testing.T) {
+	cn := smallConvNet(t, 2)
+	if got := cn.InputSize(); got != 6*6*2 {
+		t.Errorf("InputSize = %d, want 72", got)
+	}
+	// conv(4f,3x3,same over 2ch): 3*3*2*4+4 = 76; pool: 0;
+	// dense: 3*3*4*3+3 = 111.
+	want := 76 + 111
+	if got := cn.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+	x := tensor.NewDense(5, 72)
+	out := cn.Forward(x)
+	if out.Rows != 5 || out.Cols != 3 {
+		t.Errorf("forward shape = %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestConvNetParamRoundTrip(t *testing.T) {
+	cn := smallConvNet(t, 3)
+	flat := make([]float64, cn.NumParams())
+	if err := cn.FlattenParams(flat); err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		flat[i] = float64(i) * 0.001
+	}
+	if err := cn.SetParams(flat); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]float64, cn.NumParams())
+	if err := cn.FlattenParams(back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if back[i] != flat[i] {
+			t.Fatalf("param %d = %v, want %v (SetParams not written through)", i, back[i], flat[i])
+		}
+	}
+	if err := cn.SetParams(flat[:3]); err == nil {
+		t.Error("short vector accepted")
+	}
+	if err := cn.FlattenParams(flat[:3]); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+// The decisive test: backprop through conv/relu/pool/dense matches central
+// differences.
+func TestConvNetGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cn := smallConvNet(t, 7)
+	x := tensor.NewDense(3, 72)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 2, 1}
+	grad := make([]float64, cn.NumParams())
+	if _, err := cn.LossAndGradFlat(x, labels, grad); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, cn.NumParams())
+	if err := cn.FlattenParams(params); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	for trial := 0; trial < 60; trial++ {
+		idx := rng.Intn(len(params))
+		orig := params[idx]
+		params[idx] = orig + h
+		if err := cn.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+		up, err := cn.Loss(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[idx] = orig - h
+		if err := cn.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+		down, err := cn.Loss(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[idx] = orig
+		numeric := (up - down) / (2 * h)
+		if math.Abs(numeric-grad[idx]) > 2e-4*(1+math.Abs(numeric)) {
+			t.Errorf("grad[%d] = %v, numeric %v", idx, grad[idx], numeric)
+		}
+	}
+	if err := cn.SetParams(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvNetValidationErrors(t *testing.T) {
+	cn := smallConvNet(t, 9)
+	grad := make([]float64, cn.NumParams())
+	if _, err := cn.LossAndGradFlat(tensor.NewDense(2, 72), []int{0}, grad); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+	if _, err := cn.LossAndGradFlat(tensor.NewDense(1, 10), []int{0}, grad); err == nil {
+		t.Error("input width mismatch accepted")
+	}
+	if _, err := cn.LossAndGradFlat(tensor.NewDense(1, 72), []int{9}, grad); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	unbuilt, _ := NewConvNet(4, 4, 1, rand.New(rand.NewSource(1)))
+	if _, err := unbuilt.LossAndGradFlat(tensor.NewDense(1, 16), []int{0}, nil); err == nil {
+		t.Error("unfinalized network accepted")
+	}
+}
+
+func TestConvNetTrainsOnStructuredData(t *testing.T) {
+	// Class 0: bright top half; class 1: bright bottom half. A conv net
+	// must separate them rapidly with plain SGD.
+	rng := rand.New(rand.NewSource(11))
+	const h, w, c = 8, 8, 1
+	n := 128
+	x := tensor.NewDense(n, h*w*c)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = rng.Intn(2)
+		row := x.Row(i)
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				v := rng.NormFloat64() * 0.3
+				if (labels[i] == 0 && y < h/2) || (labels[i] == 1 && y >= h/2) {
+					v += 2
+				}
+				row[y*w+xx] = v
+			}
+		}
+	}
+	cn, err := NewConvNet(h, w, c, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []error{
+		cn.AddConv(4, 3, 1), cn.AddReLU(), cn.AddMaxPool(2, 2), cn.AddDense(2),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	grad := make([]float64, cn.NumParams())
+	params := make([]float64, cn.NumParams())
+	first, err := cn.Loss(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 60; iter++ {
+		if _, err := cn.LossAndGradFlat(x, labels, grad); err != nil {
+			t.Fatal(err)
+		}
+		if err := cn.FlattenParams(params); err != nil {
+			t.Fatal(err)
+		}
+		tensor.Axpy(-0.2, grad, params)
+		if err := cn.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := cn.Loss(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first*0.3 {
+		t.Errorf("loss %.4f -> %.4f: conv net failed to learn", first, last)
+	}
+	if acc := cn.Accuracy(x, labels); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func BenchmarkConvNetLossAndGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cn, _ := NewConvNet(24, 24, 3, rng)
+	_ = cn.AddConv(16, 5, 1)
+	_ = cn.AddReLU()
+	_ = cn.AddMaxPool(3, 2)
+	_ = cn.AddDense(10)
+	x := tensor.NewDense(16, 24*24*3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	grad := make([]float64, cn.NumParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cn.LossAndGradFlat(x, labels, grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package nn
+
+import "cynthia/internal/tensor"
+
+// Model is the contract the parameter-server framework trains against:
+// flat parameter exchange plus batched loss/gradient evaluation. Both MLP
+// and ConvNet implement it.
+type Model interface {
+	// NumParams returns the total trainable parameter count.
+	NumParams() int
+	// FlattenParams writes all parameters into dst (length NumParams).
+	FlattenParams(dst []float64) error
+	// SetParams loads all parameters from src (length NumParams).
+	SetParams(src []float64) error
+	// LossAndGradFlat computes the mean softmax cross-entropy over the
+	// batch and writes the flattened gradient into gradOut (length
+	// NumParams).
+	LossAndGradFlat(x *tensor.Dense, labels []int, gradOut []float64) (float64, error)
+	// Loss computes the mean cross-entropy without gradients.
+	Loss(x *tensor.Dense, labels []int) (float64, error)
+	// Accuracy returns the fraction of correctly classified samples.
+	Accuracy(x *tensor.Dense, labels []int) float64
+}
+
+// LossAndGradFlat implements Model for MLP, reusing a cached gradient
+// holder (an MLP replica is owned by a single worker goroutine).
+func (m *MLP) LossAndGradFlat(x *tensor.Dense, labels []int, gradOut []float64) (float64, error) {
+	if m.scratch == nil {
+		m.scratch = m.NewGradients()
+	}
+	loss, err := m.LossAndGrad(x, labels, m.scratch)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.FlattenGrads(m.scratch, gradOut); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+var _ Model = (*MLP)(nil)

@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cynthia/internal/tensor"
+)
+
+func newNet(t *testing.T, sizes ...int) *MLP {
+	t.Helper()
+	m, err := NewMLP(sizes, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP([]int{5}, rng); err == nil {
+		t.Error("single layer accepted")
+	}
+	if _, err := NewMLP([]int{5, 0, 2}, rng); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	m := newNet(t, 4, 3, 2)
+	want := 4*3 + 3 + 3*2 + 2
+	if got := m.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	m := newNet(t, 4, 8, 3)
+	x := tensor.NewDense(5, 4)
+	out := m.Forward(x)
+	if out.Rows != 5 || out.Cols != 3 {
+		t.Errorf("output %dx%d, want 5x3", out.Rows, out.Cols)
+	}
+}
+
+func TestLossAndGradValidation(t *testing.T) {
+	m := newNet(t, 4, 3)
+	g := m.NewGradients()
+	if _, err := m.LossAndGrad(tensor.NewDense(2, 4), []int{0}, g); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+	if _, err := m.LossAndGrad(tensor.NewDense(1, 3), []int{0}, g); err == nil {
+		t.Error("input width mismatch accepted")
+	}
+	if _, err := m.LossAndGrad(tensor.NewDense(1, 4), []int{7}, g); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+// Numerical gradient check: central differences agree with backprop.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := newNet(t, 6, 5, 4)
+	x := tensor.NewDense(3, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 2, 3}
+	g := m.NewGradients()
+	if _, err := m.LossAndGrad(x, labels, g); err != nil {
+		t.Fatal(err)
+	}
+	flatG := make([]float64, m.NumParams())
+	if err := m.FlattenGrads(g, flatG); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, m.NumParams())
+	if err := m.FlattenParams(params); err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	// Spot-check 40 random coordinates.
+	for trial := 0; trial < 40; trial++ {
+		idx := rng.Intn(len(params))
+		orig := params[idx]
+		params[idx] = orig + h
+		if err := m.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+		up, err := m.Loss(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[idx] = orig - h
+		if err := m.SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+		down, err := m.Loss(x, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[idx] = orig
+		numeric := (up - down) / (2 * h)
+		if math.Abs(numeric-flatG[idx]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("grad[%d] = %v, numeric %v", idx, flatG[idx], numeric)
+		}
+	}
+	if err := m.SetParams(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGDDecreasesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := newNet(t, 8, 16, 3)
+	x := tensor.NewDense(32, 8)
+	labels := make([]int, 32)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+	}
+	g := m.NewGradients()
+	first, err := m.LossAndGrad(x, labels, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := first
+	for step := 0; step < 100; step++ {
+		if _, err := m.LossAndGrad(x, labels, g); err != nil {
+			t.Fatal(err)
+		}
+		m.ApplySGD(g, 0.5)
+	}
+	loss, err = m.Loss(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss >= first*0.5 {
+		t.Errorf("loss %.4f did not drop from %.4f", loss, first)
+	}
+	if acc := m.Accuracy(x, labels); acc < 0.8 {
+		t.Errorf("memorization accuracy = %v, want > 0.8", acc)
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	m := newNet(t, 5, 4, 3)
+	flat := make([]float64, m.NumParams())
+	if err := m.FlattenParams(flat); err != nil {
+		t.Fatal(err)
+	}
+	m2 := newNet(t, 5, 4, 3)
+	// m2 starts different (same seed here, so perturb).
+	m2.W[0].Data[0] += 1
+	if err := m2.SetParams(flat); err != nil {
+		t.Fatal(err)
+	}
+	flat2 := make([]float64, m2.NumParams())
+	if err := m2.FlattenParams(flat2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if flat[i] != flat2[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if err := m.SetParams(flat[:3]); err == nil {
+		t.Error("short param vector accepted")
+	}
+	if err := m.FlattenParams(flat[:3]); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestAddFlatGradAndScale(t *testing.T) {
+	m := newNet(t, 3, 2)
+	g := m.NewGradients()
+	flat := make([]float64, m.NumParams())
+	for i := range flat {
+		flat[i] = float64(i)
+	}
+	if err := m.AddFlatGrad(g, flat); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFlatGrad(g, flat); err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleGrads(0.5)
+	out := make([]float64, m.NumParams())
+	if err := m.FlattenGrads(g, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if math.Abs(out[i]-float64(i)) > 1e-12 {
+			t.Fatalf("aggregate[%d] = %v, want %v", i, out[i], float64(i))
+		}
+	}
+	g.Zero()
+	if err := m.FlattenGrads(g, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != 0 {
+			t.Fatal("Zero left residue")
+		}
+	}
+	if err := m.AddFlatGrad(g, flat[:2]); err == nil {
+		t.Error("short grad vector accepted")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := newNet(t, 10, 5, 2)
+	b := newNet(t, 10, 5, 2)
+	fa := make([]float64, a.NumParams())
+	fb := make([]float64, b.NumParams())
+	if err := a.FlattenParams(fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlattenParams(fb); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("same seed produced different init")
+		}
+	}
+}
+
+func BenchmarkLossAndGrad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, _ := NewMLP([]int{784, 128, 10}, rng)
+	x := tensor.NewDense(64, 784)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	g := m.NewGradients()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.LossAndGrad(x, labels, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

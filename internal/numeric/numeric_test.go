@@ -1,0 +1,218 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	x, err := Solve(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-4) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// First pivot is zero; partial pivoting must handle it.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := Solve(a, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-5) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular system solved")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system solved")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square system solved")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs size mismatch solved")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{3, 5}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[1][1] != 3 || b[0] != 3 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+// Property: Solve recovers x from A·x for random well-conditioned systems.
+func TestPropertySolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(5) + 1
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) + 1 // diagonally dominant => well conditioned
+			x[i] = rng.NormFloat64() * 10
+		}
+		b := make([]float64, n)
+		for i := range a {
+			for j := range a[i] {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2 + 3x, no noise.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-9 || math.Abs(beta[1]-3) > 1e-9 {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresNoisyFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{1, v})
+		y = append(y, 4+0.5*v+rng.NormFloat64()*0.1)
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-4) > 0.05 || math.Abs(beta[1]-0.5) > 0.01 {
+		t.Errorf("beta = %v, want ~[4 0.5]", beta)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("y-size mismatch accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged x accepted")
+	}
+	if _, err := LeastSquares([][]float64{{}, {}}, []float64{1, 2}); err == nil {
+		t.Error("zero features accepted")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r := RSquared(obs, obs); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect fit R² = %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(obs, mean); math.Abs(r) > 1e-12 {
+		t.Errorf("mean predictor R² = %v, want 0", r)
+	}
+	if r := RSquared(obs, []float64{1}); !math.IsNaN(r) {
+		t.Errorf("mismatched lengths R² = %v, want NaN", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{5, 5}); r != 1 {
+		t.Errorf("constant exact fit R² = %v, want 1", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{4, 6}); !math.IsNaN(r) {
+		t.Errorf("constant observed with error R² = %v, want NaN", r)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestMeanAbsRel(t *testing.T) {
+	got := MeanAbsRel([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MeanAbsRel = %v, want 0.1", got)
+	}
+	if !math.IsInf(MeanAbsRel([]float64{1}, []float64{0}), 1) {
+		t.Error("zero observed should be +Inf")
+	}
+	if !math.IsNaN(MeanAbsRel([]float64{1}, []float64{1, 2})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+// Property: least squares residuals are orthogonal to the design columns.
+func TestPropertyLeastSquaresOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(20) + 3
+		var x [][]float64
+		var y []float64
+		for i := 0; i < rows; i++ {
+			v := rng.Float64() * 5
+			x = append(x, []float64{1, v, v * v})
+			y = append(y, rng.NormFloat64())
+		}
+		beta, err := LeastSquares(x, y)
+		if err != nil {
+			return true // singular by chance; skip
+		}
+		for c := 0; c < 3; c++ {
+			dot := 0.0
+			for r := range x {
+				pred := beta[0]*x[r][0] + beta[1]*x[r][1] + beta[2]*x[r][2]
+				dot += (y[r] - pred) * x[r][c]
+			}
+			if math.Abs(dot) > 1e-6*float64(rows) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

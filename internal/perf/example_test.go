@@ -1,0 +1,28 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+)
+
+// Predict VGG-19's per-iteration time on clusters before and after the PS
+// NIC saturates: the model throttles the large cluster.
+func ExampleCynthia_IterTime() {
+	workload, _ := model.WorkloadByName("VGG-19")
+	m4, _ := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	profile := perf.SyntheticProfile(workload, m4)
+	var c perf.Cynthia
+
+	small, _ := c.IterTime(profile, cloud.Homogeneous(m4, 4, 1))
+	large, _ := c.IterTime(profile, cloud.Homogeneous(m4, 16, 1))
+	fmt.Printf("4 workers: %.1fs/iter, utilization %.0f%%\n",
+		small, c.WorkerUtilization(profile, cloud.Homogeneous(m4, 4, 1))*100)
+	fmt.Printf("16 workers: %.1fs/iter, utilization %.0f%%\n",
+		large, c.WorkerUtilization(profile, cloud.Homogeneous(m4, 16, 1))*100)
+	// Output:
+	// 4 workers: 14.3s/iter, utilization 100%
+	// 16 workers: 26.6s/iter, utilization 51%
+}

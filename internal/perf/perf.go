@@ -1,0 +1,170 @@
+// Package perf implements DDNN training performance models: the paper's
+// Cynthia model (Sec. 3) and the Predictor interface that the Optimus and
+// Paleo baselines (internal/baseline) also satisfy, so the provisioner and
+// the experiments can swap models freely.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+// Profile holds the quantities obtained by profiling a DDNN workload once
+// on a single baseline worker with a single PS node (paper Sec. 3,
+// "Obtaining model parameters"). All predictors consume a Profile; only
+// Cynthia uses the PS resource-consumption fields.
+type Profile struct {
+	// Workload is the profiled training job.
+	Workload *model.Workload
+	// Base is the baseline worker's instance type (cbase = Base.GFLOPS).
+	Base cloud.InstanceType
+	// TBaseIter is the measured mean iteration time on the baseline
+	// worker, in seconds.
+	TBaseIter float64
+	// WiterGFLOPs is the per-iteration work inferred from the profiling
+	// run: the compute portion of TBaseIter times cbase.
+	WiterGFLOPs float64
+	// GparamMB is the parameter size measured from PS traffic divided by
+	// the iteration count.
+	GparamMB float64
+	// CprofGFLOPS is the PS node's CPU consumption rate during
+	// profiling (CPU utilization x capability), in GFLOPS.
+	CprofGFLOPS float64
+	// BprofMBps is the PS node's NIC throughput during profiling.
+	BprofMBps float64
+}
+
+// Validate checks the profile for usability.
+func (p *Profile) Validate() error {
+	if p == nil || p.Workload == nil {
+		return fmt.Errorf("perf: nil profile or workload")
+	}
+	if p.WiterGFLOPs <= 0 || p.GparamMB <= 0 || p.TBaseIter <= 0 {
+		return fmt.Errorf("perf: profile for %s has non-positive measurements", p.Workload.Name)
+	}
+	if p.Base.GFLOPS <= 0 {
+		return fmt.Errorf("perf: profile baseline %q has no CPU capability", p.Base.Name)
+	}
+	return nil
+}
+
+// Predictor is a DDNN training performance model.
+type Predictor interface {
+	// Name identifies the model ("Cynthia", "Optimus", "Paleo").
+	Name() string
+	// IterTime predicts the mean iteration processing time titer for the
+	// profiled workload on the given cluster, in seconds. For ASP this
+	// is the mean over workers of the per-worker iteration time.
+	IterTime(p *Profile, cluster cloud.ClusterSpec) (float64, error)
+	// TrainingTime predicts the makespan of iters iterations on the
+	// given cluster, in seconds.
+	TrainingTime(p *Profile, cluster cloud.ClusterSpec, iters int) (float64, error)
+}
+
+// Cynthia is the paper's performance model (Sec. 3). It captures the PS
+// resource bottleneck via the demand/supply ratio of the PS CPU and NIC
+// (Eq. 6-7), worker heterogeneity via per-worker CPU rates (Eq. 4), and
+// the computation/communication overlap of BSP (Eq. 3).
+type Cynthia struct{}
+
+// Name implements Predictor.
+func (Cynthia) Name() string { return "Cynthia" }
+
+// bottleneck computes the worker CPU utilization u (paper Sec. 3,
+// "Estimating resource utilization of workers") and the effective
+// synchronization bandwidth of the PS tier. The effective bandwidth is the
+// NIC supply capped by what the PS CPUs can process, using the profiled
+// CPU-per-byte ratio cprof/bprof — the same demand/supply principle, with
+// the measurement already in hand.
+func (Cynthia) bottleneck(p *Profile, cluster cloud.ClusterSpec) (u, beff float64) {
+	csup := cluster.TotalPSGFLOPS()
+	bsup := cluster.TotalPSNetMBps()
+	cbase := p.Base.GFLOPS
+
+	var rscale float64
+	switch p.Workload.Sync {
+	case model.ASP:
+		rscale = cluster.TotalWorkerGFLOPS() / cbase // Eq. (7), ASP
+	default:
+		rscale = float64(cluster.NumWorkers()) * cluster.MinWorkerGFLOPS() / cbase // Eq. (7), BSP
+	}
+	cdem := p.CprofGFLOPS * rscale // Eq. (6)
+	bdem := p.BprofMBps * rscale
+
+	u = 1.0
+	if cdem > csup || bdem > bsup {
+		u = math.Min(bsup/bdem, csup/cdem)
+	}
+
+	beff = bsup
+	if p.CprofGFLOPS > 0 {
+		beff = math.Min(bsup, csup*p.BprofMBps/p.CprofGFLOPS)
+	}
+	return u, beff
+}
+
+// WorkerUtilization predicts the worker CPU utilization on the cluster
+// (the u of the paper's Sec. 3), in [0, 1].
+func (c Cynthia) WorkerUtilization(p *Profile, cluster cloud.ClusterSpec) float64 {
+	u, _ := c.bottleneck(p, cluster)
+	return u
+}
+
+// IterTime implements Predictor using the paper's Eq. (3)-(5).
+func (c Cynthia) IterTime(p *Profile, cluster cloud.ClusterSpec) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if cluster.NumWorkers() < 1 || cluster.NumPS() < 1 {
+		return 0, fmt.Errorf("perf: cluster needs >=1 worker and >=1 PS")
+	}
+	u, beff := c.bottleneck(p, cluster)
+	n := cluster.NumWorkers()
+	syncMB := 2 * p.GparamMB
+
+	switch p.Workload.Sync {
+	case model.ASP:
+		// Mean iteration time = n / Σ 1/titer_j.
+		sumRate := 0.0
+		for _, w := range cluster.Workers {
+			titer := p.WiterGFLOPs/(w.GFLOPS*u) + syncMB/beff
+			sumRate += 1 / titer
+		}
+		return float64(n) / sumRate, nil
+	default:
+		tcomp := p.WiterGFLOPs / (float64(n) * cluster.MinWorkerGFLOPS() * u) // Eq. (4)
+		tcomm := syncMB * float64(n) / beff                                   // Eq. (5)
+		return math.Max(tcomp, tcomm), nil                                    // Eq. (3), overlapped
+	}
+}
+
+// TrainingTime implements Predictor using the paper's Eq. (2): for BSP
+// every round is one iteration; for ASP the budget is spread across
+// workers proportionally to their iteration rates.
+func (c Cynthia) TrainingTime(p *Profile, cluster cloud.ClusterSpec, iters int) (float64, error) {
+	if iters <= 0 {
+		return 0, fmt.Errorf("perf: iteration count %d must be positive", iters)
+	}
+	titer, err := c.IterTime(p, cluster)
+	if err != nil {
+		return 0, err
+	}
+	switch p.Workload.Sync {
+	case model.ASP:
+		return float64(iters) * titer / float64(cluster.NumWorkers()), nil
+	default:
+		return float64(iters) * titer, nil
+	}
+}
+
+// PredictionError returns |predicted-observed|/observed, the metric the
+// paper reports for Figs. 6-10.
+func PredictionError(predicted, observed float64) float64 {
+	if observed == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-observed) / observed
+}

@@ -1,0 +1,35 @@
+package perf
+
+import (
+	"math"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+// SyntheticProfile derives the profile a noise-free single-worker
+// profiling run would measure, directly from workload ground truth. It is
+// useful in tests and for planning studies that should not depend on
+// simulator noise; internal/profile produces the measured equivalent.
+func SyntheticProfile(w *model.Workload, base cloud.InstanceType) *Profile {
+	comp := w.WiterGFLOPs / base.GFLOPS
+	// Per sync direction the PS pipelines NIC transfer with its CPU work;
+	// the slower of the two paces the direction.
+	perDir := math.Max(w.GparamMB/base.NetMBps, w.GparamMB*w.PSCPUPerMB/base.GFLOPS)
+	var tIter float64
+	if w.Sync == model.ASP {
+		tIter = comp + 2*perDir
+	} else {
+		tIter = math.Max(comp, 2*perDir)
+	}
+	bprof := 2 * w.GparamMB / tIter
+	return &Profile{
+		Workload:    w,
+		Base:        base,
+		TBaseIter:   tIter,
+		WiterGFLOPs: w.WiterGFLOPs,
+		GparamMB:    w.GparamMB,
+		CprofGFLOPS: bprof * w.PSCPUPerMB,
+		BprofMBps:   bprof,
+	}
+}

@@ -1,0 +1,44 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+	"cynthia/internal/plan"
+)
+
+// Provision the cifar10 DNN to reach loss 0.8 within 90 minutes at
+// minimum cost.
+func ExampleProvision() {
+	workload, _ := model.WorkloadByName("cifar10 DNN")
+	baseline, _ := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	profile := perf.SyntheticProfile(workload, baseline)
+
+	p, err := plan.Provision(plan.Request{
+		Profile: profile,
+		Goal:    plan.Goal{TimeSec: 5400, LossTarget: 0.8},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d workers + %d PS on %s, %d iterations\n",
+		p.Workers, p.PS, p.Type.Name, p.Iterations)
+	// Output:
+	// 9 workers + 1 PS on m4.xlarge, 2182 iterations
+}
+
+// Theorem 4.1 brackets the search space before Algorithm 1 scans it.
+func ExampleComputeBounds() {
+	workload, _ := model.WorkloadByName("cifar10 DNN")
+	m4, _ := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	profile := perf.SyntheticProfile(workload, m4)
+
+	b, _ := plan.ComputeBounds(profile, m4, plan.Goal{TimeSec: 5400, LossTarget: 0.8})
+	fmt.Printf("scan %d..%d workers with %d PS (%d iterations)\n",
+		b.LowerWorkers, b.UpperWorkers, b.PS, b.Iterations)
+	// Output:
+	// scan 8..15 workers with 1 PS (2182 iterations)
+}

@@ -1,0 +1,360 @@
+// Package plan implements Cynthia's cost-efficient cloud resource
+// provisioning strategy (paper Sec. 4): given a training deadline Tg and a
+// target loss lg, pick the instance type and the number of workers and PS
+// nodes that meet the goal at minimum monetary cost (Eq. 8-11), using
+// Theorem 4.1's bounds to keep the search space small and Algorithm 1 to
+// scan it.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+)
+
+// Goal is the training performance target: finish within TimeSec seconds
+// having reached training loss LossTarget.
+type Goal struct {
+	TimeSec    float64
+	LossTarget float64
+}
+
+// Validate checks the goal.
+func (g Goal) Validate() error {
+	if g.TimeSec <= 0 {
+		return fmt.Errorf("plan: goal time %.1fs must be positive", g.TimeSec)
+	}
+	if g.LossTarget <= 0 {
+		return fmt.Errorf("plan: goal loss %.3f must be positive", g.LossTarget)
+	}
+	return nil
+}
+
+// Plan is a provisioning decision.
+type Plan struct {
+	// Type is the chosen instance type.
+	Type cloud.InstanceType
+	// Workers and PS are the provisioned docker counts.
+	Workers int
+	PS      int
+	// Iterations is the iteration budget that reaches the loss target
+	// (total across the cluster).
+	Iterations int
+	// PredIterTime and PredTime are the predictor's per-iteration and
+	// end-to-end estimates (PredTime includes the ASP division across
+	// workers).
+	PredIterTime float64
+	PredTime     float64
+	// Cost is the predicted monetary cost in USD (Eq. 8).
+	Cost float64
+	// Feasible reports whether PredTime meets the goal. When no
+	// candidate meets the goal the provisioner returns the best-effort
+	// (fastest predicted) plan with Feasible=false.
+	Feasible bool
+}
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	status := "meets goal"
+	if !p.Feasible {
+		status = "BEST EFFORT (goal unmet)"
+	}
+	return fmt.Sprintf("%d x %s workers + %d PS, %d iterations, predicted %.0fs, $%.3f (%s)",
+		p.Workers, p.Type.Name, p.PS, p.Iterations, p.PredTime, p.Cost, status)
+}
+
+// Bounds are the Theorem 4.1 search bounds for one instance type.
+type Bounds struct {
+	// LowerWorkers and UpperWorkers bracket the worker count.
+	LowerWorkers int
+	UpperWorkers int
+	// PS is the minimum PS count (Eq. 18 / Eq. 22).
+	PS int
+	// Ratio is the maximum worker:PS provisioning ratio r (Eq. 12) that
+	// keeps the PS bottleneck-free.
+	Ratio float64
+	// Iterations is the iteration budget at LowerWorkers (BSP budgets do
+	// not depend on the worker count; ASP budgets grow with workers).
+	Iterations int
+}
+
+// MaxRatio computes Eq. (12): the largest worker:PS ratio that avoids CPU
+// and network bottlenecks on the PS. The PS demand scales with the
+// provisioned compute (n·cwk/cbase, Eq. 6-7); keeping cdemand ≤ cps and
+// bdemand ≤ bps per PS node yields
+//
+//	r = min( cbase·cps / (cprof·cwk),  bps·cbase / (bprof·cwk) ).
+func MaxRatio(p *perf.Profile, t cloud.InstanceType) float64 {
+	cbase := p.Base.GFLOPS
+	cwk, cps, bps := t.GFLOPS, t.GFLOPS, t.NetMBps
+	rCPU, rNet := math.Inf(1), math.Inf(1)
+	if p.CprofGFLOPS > 0 {
+		rCPU = cbase * cps / (p.CprofGFLOPS * cwk)
+	}
+	if p.BprofMBps > 0 {
+		rNet = bps * cbase / (p.BprofMBps * cwk)
+	}
+	return math.Min(rCPU, rNet)
+}
+
+// IterationsFor solves the loss model for the iteration budget reaching
+// the target at n workers (Eq. 15 for BSP, the ASP inversion of Eq. 1).
+func IterationsFor(w *model.Workload, lg float64, n int) (int, error) {
+	return w.IterationsToLoss(lg, n)
+}
+
+// ComputeBounds evaluates Theorem 4.1 for one instance type.
+func ComputeBounds(p *perf.Profile, t cloud.InstanceType, goal Goal) (Bounds, error) {
+	if err := p.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	if err := goal.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	w := p.Workload
+	r := MaxRatio(p, t)
+	cwk := t.GFLOPS
+	bps := t.NetMBps
+	syncMB := 2 * p.GparamMB
+
+	switch w.Sync {
+	case model.ASP:
+		// Lower bound (cf. Eq. 13): per-worker iterations s(n) =
+		// β0/(√n·(lg-β1)) must each fit witer/cwk of compute within
+		// Tg, giving √n >= witer·β0/(cwk·Tg·(lg-β1)). (The paper's
+		// printed bound drops the β1 shift; this is the exact algebra
+		// and is never smaller than a valid lower bound.)
+		if goal.LossTarget <= w.Loss.Beta1 {
+			return Bounds{}, fmt.Errorf("plan: loss target %.3f below asymptote %.3f", goal.LossTarget, w.Loss.Beta1)
+		}
+		root := p.WiterGFLOPs * w.Loss.Beta0 / (cwk * goal.TimeSec * (goal.LossTarget - w.Loss.Beta1))
+		lower := int(math.Ceil(root * root))
+		if lower < 1 {
+			lower = 1
+		}
+		nps := int(math.Ceil(float64(lower) / r)) // Eq. (22)
+		if nps < 1 {
+			nps = 1
+		}
+		upper := int(math.Ceil(r * float64(nps))) // Eq. (23)
+		if upper < lower {
+			upper = lower
+		}
+		iters, err := w.IterationsToLoss(goal.LossTarget, lower)
+		if err != nil {
+			return Bounds{}, err
+		}
+		return Bounds{LowerWorkers: lower, UpperWorkers: upper, PS: nps, Ratio: r, Iterations: iters}, nil
+	default:
+		s, err := w.IterationsToLoss(goal.LossTarget, 1) // Eq. (15): BSP budget is n-independent
+		if err != nil {
+			return Bounds{}, err
+		}
+		lower := int(math.Ceil(p.WiterGFLOPs * float64(s) / (goal.TimeSec * cwk))) // Eq. (16)
+		if lower < 1 {
+			lower = 1
+		}
+		u := math.Min(r, goal.TimeSec*bps/(2*float64(s)*p.GparamMB)) // Eq. (17)
+		if u <= 0 {
+			return Bounds{}, fmt.Errorf("plan: goal %.0fs leaves no communication budget", goal.TimeSec)
+		}
+		nps := int(math.Ceil(float64(lower) / u)) // Eq. (18)
+		if nps < 1 {
+			nps = 1
+		}
+		// Eq. (19): balance point between computation and communication.
+		balance := math.Sqrt(p.WiterGFLOPs * float64(nps) * bps / (syncMB * cwk))
+		upper := int(math.Ceil(math.Min(u*float64(nps), balance)))
+		if upper < lower {
+			upper = lower
+		}
+		return Bounds{LowerWorkers: lower, UpperWorkers: upper, PS: nps, Ratio: r, Iterations: s}, nil
+	}
+}
+
+// Request configures a provisioning run.
+type Request struct {
+	// Profile is the workload profile (from internal/profile or
+	// perf.SyntheticProfile).
+	Profile *perf.Profile
+	// Goal is the training target.
+	Goal Goal
+	// Predictor estimates iteration times; defaults to perf.Cynthia.
+	// Substituting baseline.Optimus reproduces the paper's "modified
+	// Optimus" comparator (Sec. 5.2).
+	Predictor perf.Predictor
+	// Catalog lists candidate instance types; defaults to
+	// cloud.DefaultCatalog.
+	Catalog *cloud.Catalog
+	// MaxPSEscalations allows raising the PS count above the Theorem 4.1
+	// minimum when no worker count in range meets the goal (this is how
+	// a second PS gets provisioned for tight goals, as in Figs. 12-13).
+	// Defaults to 3 extra steps.
+	MaxPSEscalations int
+	// MaxWorkers caps the worker count (a cluster quota). Defaults to
+	// DefaultMaxWorkers; the ASP loss model's √n term would otherwise
+	// let absurdly large clusters "meet" impossible deadlines.
+	MaxWorkers int
+	// Headroom is the deadline safety margin: a candidate is feasible
+	// when its predicted time fits within (1-Headroom)·Tg. The
+	// analytical model is a few percent optimistic near PS saturation
+	// (transfer queueing it does not capture), so provisioning with a
+	// small reserve keeps the actual run inside the goal. Negative
+	// disables; zero selects DefaultHeadroom.
+	Headroom float64
+}
+
+// DefaultMaxWorkers matches the paper's 56-docker testbed.
+const DefaultMaxWorkers = 56
+
+// DefaultHeadroom is the default deadline safety margin.
+const DefaultHeadroom = 0.07
+
+// Provision runs Algorithm 1: for each instance type, compute the bounds,
+// scan worker counts ascending, take the first candidate whose predicted
+// training time meets the goal (the algorithm's early break), and return
+// the cheapest such plan across types. If no candidate meets the goal
+// anywhere, the fastest predicted plan is returned with Feasible=false.
+func Provision(req Request) (Plan, error) {
+	if req.Profile == nil {
+		return Plan{}, fmt.Errorf("plan: nil profile")
+	}
+	if err := req.Profile.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if err := req.Goal.Validate(); err != nil {
+		return Plan{}, err
+	}
+	pred := req.Predictor
+	if pred == nil {
+		pred = perf.Cynthia{}
+	}
+	catalog := req.Catalog
+	if catalog == nil {
+		catalog = cloud.DefaultCatalog()
+	}
+	maxEsc := req.MaxPSEscalations
+	if maxEsc == 0 {
+		maxEsc = 3
+	}
+	maxWorkers := req.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = DefaultMaxWorkers
+	}
+	headroom := req.Headroom
+	if headroom == 0 {
+		headroom = DefaultHeadroom
+	}
+	if headroom < 0 {
+		headroom = 0
+	}
+	effGoal := req.Goal
+	effGoal.TimeSec *= 1 - headroom
+
+	w := req.Profile.Workload
+	var best Plan
+	var bestEffort Plan
+	haveBest, haveEffort := false, false
+
+	for _, t := range catalog.Types() {
+		bounds, err := ComputeBounds(req.Profile, t, effGoal)
+		if err != nil {
+			continue // unreachable loss target etc.: this type offers nothing
+		}
+		if bounds.LowerWorkers > maxWorkers {
+			// The quota alone rules this type out; still record a
+			// best-effort candidate at the quota.
+			if cand, err := evaluate(req.Profile, pred, w, t, maxWorkers,
+				minInt(bounds.PS, maxWorkers), effGoal); err == nil && !cand.Feasible {
+				if !haveEffort || cand.PredTime < bestEffort.PredTime {
+					bestEffort = cand
+					haveEffort = true
+				}
+			}
+			continue
+		}
+		found := false
+		for esc := 0; esc <= maxEsc && !found; esc++ {
+			nps := bounds.PS + esc
+			upper := bounds.UpperWorkers
+			if esc > 0 {
+				// With more PS capacity the balance point moves out.
+				upper = int(math.Ceil(bounds.Ratio * float64(nps)))
+				if w.Sync == model.BSP {
+					balance := math.Sqrt(req.Profile.WiterGFLOPs * float64(nps) * t.NetMBps / (2 * req.Profile.GparamMB * t.GFLOPS))
+					upper = int(math.Ceil(math.Min(float64(upper), balance)))
+				}
+			}
+			if upper > maxWorkers {
+				upper = maxWorkers
+			}
+			for n := bounds.LowerWorkers; n <= upper; n++ {
+				if nps > n {
+					break // Constraint (11): at least as many workers as PS
+				}
+				cand, err := evaluate(req.Profile, pred, w, t, n, nps, effGoal)
+				if err != nil {
+					continue
+				}
+				if cand.Feasible {
+					if !haveBest || cand.Cost < best.Cost {
+						best = cand
+						haveBest = true
+					}
+					found = true // Algorithm 1 line 11: break at first feasible n
+					break
+				}
+				if !haveEffort || cand.PredTime < bestEffort.PredTime {
+					bestEffort = cand
+					haveEffort = true
+				}
+			}
+		}
+	}
+	if haveBest {
+		return best, nil
+	}
+	if haveEffort {
+		return bestEffort, nil
+	}
+	return Plan{}, fmt.Errorf("plan: no provisioning candidate for %s (goal %.0fs / loss %.3f)",
+		w.Name, req.Goal.TimeSec, req.Goal.LossTarget)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// evaluate prices one candidate configuration.
+func evaluate(p *perf.Profile, pred perf.Predictor, w *model.Workload, t cloud.InstanceType, n, nps int, goal Goal) (Plan, error) {
+	iters, err := w.IterationsToLoss(goal.LossTarget, n)
+	if err != nil {
+		return Plan{}, err
+	}
+	cluster := cloud.Homogeneous(t, n, nps)
+	titer, err := pred.IterTime(p, cluster)
+	if err != nil {
+		return Plan{}, err
+	}
+	total, err := pred.TrainingTime(p, cluster, iters)
+	if err != nil {
+		return Plan{}, err
+	}
+	cost := (t.PricePerHour*float64(n) + t.PricePerHour*float64(nps)) * total / 3600 // Eq. (8)
+	return Plan{
+		Type:         t,
+		Workers:      n,
+		PS:           nps,
+		Iterations:   iters,
+		PredIterTime: titer,
+		PredTime:     total,
+		Cost:         cost,
+		Feasible:     total <= goal.TimeSec,
+	}, nil
+}

@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+func baseType(t *testing.T) cloud.InstanceType {
+	t.Helper()
+	it, err := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, baseType(t), 0); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestProfileRecoversWorkloadParameters(t *testing.T) {
+	base := baseType(t)
+	for _, w := range model.Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			rep, err := Run(w, base, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Iterations != DefaultIterations {
+				t.Errorf("iterations = %d, want %d", rep.Iterations, DefaultIterations)
+			}
+			p := rep.Profile
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The measured witer and gparam should recover the workload's
+			// ground truth within a few percent (compute noise, pipeline
+			// warmup).
+			if rel := math.Abs(p.WiterGFLOPs-w.WiterGFLOPs) / w.WiterGFLOPs; rel > 0.05 {
+				t.Errorf("witer = %.3f, truth %.3f (%.1f%% off)", p.WiterGFLOPs, w.WiterGFLOPs, rel*100)
+			}
+			if rel := math.Abs(p.GparamMB-w.GparamMB) / w.GparamMB; rel > 0.05 {
+				t.Errorf("gparam = %.3f, truth %.3f (%.1f%% off)", p.GparamMB, w.GparamMB, rel*100)
+			}
+			if p.TBaseIter <= 0 || p.BprofMBps <= 0 || p.CprofGFLOPS <= 0 {
+				t.Errorf("non-positive PS measurements: %+v", p)
+			}
+			// During single-worker profiling the PS must not be the
+			// bottleneck (paper footnote 3).
+			if p.BprofMBps > 0.9*base.NetMBps {
+				t.Errorf("PS NIC nearly saturated during profiling: %.1f MB/s", p.BprofMBps)
+			}
+			if p.CprofGFLOPS > 0.9*base.GFLOPS {
+				t.Errorf("PS CPU nearly saturated during profiling: %.2f GFLOPS", p.CprofGFLOPS)
+			}
+			if rep.Duration <= 0 {
+				t.Error("non-positive profiling duration")
+			}
+		})
+	}
+}
+
+// Section 5.3: profiling overhead ordering — mnist is by far the cheapest
+// to profile, VGG-19 the most expensive.
+func TestSection53ProfilingDurations(t *testing.T) {
+	reports, err := RunAll(baseType(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("%d reports, want 4", len(reports))
+	}
+	// The paper reports 0.9 s for mnist and 4-10.4 minutes for the CNN
+	// workloads; the robust property is that mnist profiling is orders
+	// of magnitude cheaper while the CNNs take minutes, not hours.
+	mnist := reports["mnist DNN"].Duration
+	for _, name := range []string{"VGG-19", "ResNet-32", "cifar10 DNN"} {
+		d := reports[name].Duration
+		if d < 10*mnist {
+			t.Errorf("%s profiling (%.1fs) should dwarf mnist (%.1fs)", name, d, mnist)
+		}
+		if d < 60 || d > 1200 {
+			t.Errorf("%s profiling = %.1fs, want minutes-scale", name, d)
+		}
+	}
+	if mnist > 60 {
+		t.Errorf("mnist profiling = %.1fs, want well under a minute", mnist)
+	}
+}
+
+func TestCustomIterationCount(t *testing.T) {
+	w, _ := model.WorkloadByName("mnist DNN")
+	rep, err := Run(w, baseType(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 10 {
+		t.Errorf("iterations = %d, want 10", rep.Iterations)
+	}
+}
+
+func TestProfilingOnDifferentBaselines(t *testing.T) {
+	// Profiles taken on different instance types should agree on witer
+	// and gparam (they are workload properties, not machine properties).
+	w, _ := model.WorkloadByName("cifar10 DNN")
+	m4 := baseType(t)
+	r3, err := cloud.DefaultCatalog().Lookup(cloud.R3XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm4, err := Run(w, m4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr3, err := Run(w, r3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(pm4.Profile.WiterGFLOPs-pr3.Profile.WiterGFLOPs) / pm4.Profile.WiterGFLOPs; rel > 0.05 {
+		t.Errorf("witer differs across baselines by %.1f%%", rel*100)
+	}
+	if rel := math.Abs(pm4.Profile.GparamMB-pr3.Profile.GparamMB) / pm4.Profile.GparamMB; rel > 0.05 {
+		t.Errorf("gparam differs across baselines by %.1f%%", rel*100)
+	}
+	// The slower r3 core takes longer per iteration.
+	if pr3.Profile.TBaseIter <= pm4.Profile.TBaseIter {
+		t.Errorf("r3 iteration (%.2fs) should be slower than m4 (%.2fs)",
+			pr3.Profile.TBaseIter, pm4.Profile.TBaseIter)
+	}
+}

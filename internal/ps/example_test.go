@@ -1,0 +1,42 @@
+package ps_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cynthia/internal/data"
+	"cynthia/internal/model"
+	"cynthia/internal/ps"
+)
+
+// Train a real MLP with BSP across an in-process TCP cluster of 2 PS
+// shards and 3 workers.
+func ExampleRunLocalJob() {
+	dataset, err := data.Synthetic(rand.New(rand.NewSource(42)), 300, 12, 3, 4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := ps.RunLocalJob(ps.JobConfig{
+		Sizes:      []int{12, 24, 3},
+		Sync:       model.BSP,
+		Workers:    3,
+		Servers:    2,
+		Dataset:    dataset,
+		Batch:      20,
+		Iterations: 120,
+		LR:         0.2,
+		Seed:       1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("rounds applied per shard: %d\n", res.ServerStats[0].Applies)
+	fmt.Printf("loss decreased: %v\n", res.MeanFinalLoss < res.MeanInitialLoss/2)
+	fmt.Printf("accuracy > 90%%: %v\n", res.TrainAccuracy > 0.9)
+	// Output:
+	// rounds applied per shard: 120
+	// loss decreased: true
+	// accuracy > 90%: true
+}

@@ -1,0 +1,202 @@
+package ps
+
+// Failure-injection tests: the framework must fail loudly and promptly —
+// not hang — when servers die mid-training, when configurations disagree,
+// or when the wire carries garbage.
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"cynthia/internal/model"
+	"cynthia/internal/nn"
+)
+
+func newReplica(t *testing.T) *nn.MLP {
+	t.Helper()
+	m, err := nn.NewMLP([]int{12, 8, 3}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// startServer launches one full-vector shard and returns it plus its
+// address.
+func startServer(t *testing.T, sync model.SyncMode, workers int, numParams int) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Init:    make([]float64, numParams),
+		Sync:    sync,
+		Workers: workers,
+		LR:      0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+// runWorkerAsync runs a worker in a goroutine and returns its error
+// channel.
+func runWorkerAsync(t *testing.T, cfg WorkerConfig) <-chan error {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(cfg)
+		errc <- err
+	}()
+	return errc
+}
+
+func waitErr(t *testing.T, errc <-chan error, within time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(within):
+		t.Fatal("worker did not finish in time (hang)")
+		return nil
+	}
+}
+
+func TestWorkerFailsFastWhenServerClosesMidRun(t *testing.T) {
+	replica := newReplica(t)
+	srv, addr := startServer(t, model.BSP, 2, replica.NumParams())
+	// Only one of the two expected workers connects, so the BSP barrier
+	// can never complete; closing the server must release the worker
+	// with an error instead of deadlocking it.
+	shard, err := dataset(t, 60).Shard(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := runWorkerAsync(t, WorkerConfig{
+		ID: 0, Servers: []string{addr}, Model: replica,
+		Train: shard, Batch: 5, Iterations: 50, Seed: 1,
+	})
+	time.Sleep(100 * time.Millisecond) // let it reach the barrier
+	srv.Close()
+	if err := waitErr(t, errc, 5*time.Second); err == nil {
+		t.Error("worker succeeded despite server shutdown")
+	}
+}
+
+func TestWorkerRejectsShardLengthMismatch(t *testing.T) {
+	replica := newReplica(t)
+	// Server holds half the parameters but the worker connects as if it
+	// were the only shard.
+	srv, err := NewServer(ServerConfig{
+		Init:    make([]float64, replica.NumParams()/2),
+		Sync:    model.ASP,
+		Workers: 1,
+		LR:      0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = RunWorker(WorkerConfig{
+		ID: 0, Servers: []string{addr}, Model: replica,
+		Train: dataset(t, 30), Batch: 5, Iterations: 5, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("shard length mismatch accepted")
+	}
+}
+
+func TestWorkerRejectsOutOfRangeID(t *testing.T) {
+	replica := newReplica(t)
+	_, addr := startServer(t, model.ASP, 2, replica.NumParams())
+	_, err := RunWorker(WorkerConfig{
+		ID: 7, Servers: []string{addr}, Model: replica,
+		Train: dataset(t, 30), Batch: 5, Iterations: 5, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("out-of-range worker id accepted")
+	}
+}
+
+func TestWorkerFailsOnUnreachableServer(t *testing.T) {
+	replica := newReplica(t)
+	// Reserve a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, err = RunWorker(WorkerConfig{
+		ID: 0, Servers: []string{addr}, Model: replica,
+		Train: dataset(t, 30), Batch: 5, Iterations: 5, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}
+
+func TestServerSurvivesGarbageClient(t *testing.T) {
+	replica := newReplica(t)
+	srv, addr := startServer(t, model.ASP, 1, replica.NumParams())
+	// A client that speaks garbage must not crash or wedge the server.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A well-behaved worker still trains afterwards.
+	stats, err := RunWorker(WorkerConfig{
+		ID: 0, Servers: []string{addr}, Model: replica,
+		Train: dataset(t, 30), Batch: 5, Iterations: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("worker after garbage client: %v", err)
+	}
+	if stats.Iterations != 5 {
+		t.Errorf("iterations = %d", stats.Iterations)
+	}
+	if srv.Stats().Pushes != 5 {
+		t.Errorf("pushes = %d", srv.Stats().Pushes)
+	}
+}
+
+func TestServerRejectsSyncBeforeHello(t *testing.T) {
+	replica := newReplica(t)
+	_, addr := startServer(t, model.ASP, 1, replica.NumParams())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, msgSync, encodeFloats(0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgError {
+		t.Errorf("reply type = %d (%q), want error", typ, payload)
+	}
+}
+
+func TestDoubleCloseIsSafe(t *testing.T) {
+	replica := newReplica(t)
+	srv, _ := startServer(t, model.BSP, 1, replica.NumParams())
+	srv.Close()
+	srv.Close() // must not panic
+}

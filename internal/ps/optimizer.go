@@ -1,0 +1,112 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+
+	"cynthia/internal/tensor"
+)
+
+// Optimizer applies a gradient to a parameter vector, holding any state it
+// needs (velocity, moments) between steps. Implementations live on the
+// parameter server, as in production PS deployments. The paper's
+// experiments use SGD; it notes (Sec. 2) that its loss-fitting method also
+// covers other optimizers such as Adam, so both are provided.
+type Optimizer interface {
+	// Apply performs one update of params using grad (same length).
+	Apply(params, grad []float64)
+	// Name identifies the optimizer.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent: w -= lr*g.
+type SGD struct {
+	LR float64
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Apply implements Optimizer.
+func (s *SGD) Apply(params, grad []float64) {
+	tensor.Axpy(-s.LR, grad, params)
+}
+
+// Momentum is SGD with classical momentum: v = β·v + g; w -= lr·v.
+type Momentum struct {
+	LR   float64
+	Beta float64
+	v    []float64
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Apply implements Optimizer.
+func (m *Momentum) Apply(params, grad []float64) {
+	if m.v == nil {
+		m.v = make([]float64, len(params))
+	}
+	for i, g := range grad {
+		m.v[i] = m.Beta*m.v[i] + g
+		params[i] -= m.LR * m.v[i]
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64 // defaults to 0.9 when zero
+	Beta2 float64 // defaults to 0.999 when zero
+	Eps   float64 // defaults to 1e-8 when zero
+	m, v  []float64
+	t     int
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Apply implements Optimizer.
+func (a *Adam) Apply(params, grad []float64) {
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Eps == 0 {
+		a.Eps = 1e-8
+	}
+	if a.m == nil {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, g := range grad {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+	}
+}
+
+// NewOptimizer builds an optimizer by name ("sgd", "momentum", "adam")
+// with the given learning rate.
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("ps: learning rate %v <= 0", lr)
+	}
+	switch name {
+	case "", "sgd":
+		return &SGD{LR: lr}, nil
+	case "momentum":
+		return &Momentum{LR: lr, Beta: 0.9}, nil
+	case "adam":
+		return &Adam{LR: lr}, nil
+	default:
+		return nil, fmt.Errorf("ps: unknown optimizer %q", name)
+	}
+}

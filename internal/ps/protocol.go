@@ -1,0 +1,117 @@
+// Package ps implements a real parameter-server training framework over
+// TCP: sharded parameter servers with BSP and ASP synchronization, worker
+// clients that train real models (internal/nn) on real data
+// (internal/data), and a local job orchestrator. This is the genuine
+// counterpart of the TensorFlow PS architecture the paper's testbed runs —
+// gradient pushes, parameter pulls, barriers, and staleness all happen for
+// real on the wire.
+package ps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Message types on the wire.
+const (
+	msgHello  byte = iota + 1 // worker -> server: shard length check
+	msgSync                   // worker -> server: gradient push + param pull
+	msgParams                 // server -> worker: fresh parameters
+	msgError                  // server -> worker: fatal error text
+	msgBye                    // worker -> server: clean shutdown
+)
+
+// maxFrame bounds a frame payload (512 MB) to fail fast on corruption.
+const maxFrame = 512 << 20
+
+// frame layout: type (1 byte) | payload length (4 bytes LE) | payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("ps: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("ps: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// encodeFloats appends the vector to a fresh payload with a step prefix.
+func encodeFloats(step uint32, xs []float64) []byte {
+	out := make([]byte, 4+8*len(xs))
+	binary.LittleEndian.PutUint32(out, step)
+	for i, v := range xs {
+		binary.LittleEndian.PutUint64(out[4+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeFloats splits a payload into its step prefix and vector.
+func decodeFloats(payload []byte) (step uint32, xs []float64, err error) {
+	if len(payload) < 4 || (len(payload)-4)%8 != 0 {
+		return 0, nil, fmt.Errorf("ps: malformed vector payload of %d bytes", len(payload))
+	}
+	step = binary.LittleEndian.Uint32(payload)
+	xs = make([]float64, (len(payload)-4)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[4+8*i:]))
+	}
+	return step, xs, nil
+}
+
+// encodeHello carries the worker id and the expected shard length.
+func encodeHello(workerID, shardLen int) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint32(out, uint32(workerID))
+	binary.LittleEndian.PutUint32(out[4:], uint32(shardLen))
+	return out
+}
+
+func decodeHello(payload []byte) (workerID, shardLen int, err error) {
+	if len(payload) != 8 {
+		return 0, 0, fmt.Errorf("ps: malformed hello of %d bytes", len(payload))
+	}
+	return int(binary.LittleEndian.Uint32(payload)), int(binary.LittleEndian.Uint32(payload[4:])), nil
+}
+
+// ShardRange computes the contiguous slice [lo, hi) of a numParams-long
+// flat parameter vector owned by shard k of nShards. Shards differ in
+// size by at most one element.
+func ShardRange(numParams, k, nShards int) (lo, hi int) {
+	base := numParams / nShards
+	extra := numParams % nShards
+	lo = k*base + minInt(k, extra)
+	size := base
+	if k < extra {
+		size++
+	}
+	return lo, lo + size
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,327 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cynthia/internal/model"
+	"cynthia/internal/tensor"
+)
+
+// ServerConfig configures one parameter-server shard.
+type ServerConfig struct {
+	// Init is the shard's initial parameter values (copied).
+	Init []float64
+	// Sync selects BSP (barrier + gradient averaging per round) or ASP
+	// (apply each push immediately).
+	Sync model.SyncMode
+	// Workers is the number of workers that will connect. Required for
+	// the BSP barrier; for ASP it only validates hello messages.
+	Workers int
+	// LR is the SGD learning rate applied on the server (used when
+	// Optimizer is nil).
+	LR float64
+	// Optimizer overrides plain SGD; momentum/Adam state lives on the
+	// shard, as in production PS deployments.
+	Optimizer Optimizer
+	// MaxStaleness, when > 0 with ASP, enforces stale synchronous
+	// parallel (SSP): a worker at local step c blocks until the slowest
+	// worker reaches step c - MaxStaleness. This is the bounded
+	// staleness under which asynchronous SGD provably converges (Ho et
+	// al., cited by the paper as the reason ASP training still
+	// converges). Ignored for BSP, which is SSP with bound 0 by
+	// construction.
+	MaxStaleness int
+}
+
+// ServerStats are cumulative counters, safe to read while serving.
+type ServerStats struct {
+	Pushes   int64 // gradient messages received
+	Applies  int64 // SGD updates applied (rounds for BSP, pushes for ASP)
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Server is one PS shard: it owns a contiguous slice of the flat model
+// parameter vector, aggregates gradients, applies SGD, and hands back
+// fresh parameters. A server never needs the model structure — exactly
+// like a production PS, it sees only flat vectors.
+type Server struct {
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	params  []float64
+	version uint64    // increments per apply
+	pending []float64 // BSP: sum of this round's gradients
+	nPushed int       // BSP: pushes received this round
+	clocks  []uint32  // SSP: last reported step per worker
+	closed  bool
+	opt     Optimizer
+
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+
+	pushes, applies, bytesIn, bytesOut atomic.Int64
+}
+
+// NewServer validates the configuration and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Init) == 0 {
+		return nil, fmt.Errorf("ps: empty initial parameters")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("ps: worker count %d < 1", cfg.Workers)
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		if cfg.LR <= 0 {
+			return nil, fmt.Errorf("ps: learning rate %v <= 0", cfg.LR)
+		}
+		opt = &SGD{LR: cfg.LR}
+	}
+	if cfg.MaxStaleness < 0 {
+		return nil, fmt.Errorf("ps: negative staleness bound %d", cfg.MaxStaleness)
+	}
+	s := &Server{
+		cfg:     cfg,
+		params:  append([]float64(nil), cfg.Init...),
+		pending: make([]float64, len(cfg.Init)),
+		clocks:  make([]uint32, cfg.Workers),
+		conns:   make(map[net.Conn]struct{}),
+		opt:     opt,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address. Serve loops run in the background.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener, wakes barrier waiters, and closes connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Pushes:   s.pushes.Load(),
+		Applies:  s.applies.Load(),
+		BytesIn:  s.bytesIn.Load(),
+		BytesOut: s.bytesOut.Load(),
+	}
+}
+
+// Version returns the number of applied updates.
+func (s *Server) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Params returns a copy of the current shard parameters.
+func (s *Server) Params() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.params...)
+}
+
+// handle serves one worker connection.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	fail := func(err error) {
+		_ = writeFrame(conn, msgError, []byte(err.Error()))
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	s.bytesIn.Add(int64(len(payload) + 5))
+	if typ != msgHello {
+		fail(fmt.Errorf("ps: expected hello, got type %d", typ))
+		return
+	}
+	workerID, shardLen, err := decodeHello(payload)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if shardLen != len(s.params) {
+		fail(fmt.Errorf("ps: worker %d expects shard of %d params, server holds %d",
+			workerID, shardLen, len(s.params)))
+		return
+	}
+	if workerID < 0 || workerID >= s.cfg.Workers {
+		fail(fmt.Errorf("ps: worker id %d out of range [0,%d)", workerID, s.cfg.Workers))
+		return
+	}
+
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.bytesIn.Add(int64(len(payload) + 5))
+		switch typ {
+		case msgBye:
+			return
+		case msgSync:
+			step, grad, err := decodeFloats(payload)
+			if err != nil {
+				fail(err)
+				return
+			}
+			params, version, err := s.sync(workerID, step, grad)
+			if err != nil {
+				if errors.Is(err, errClosed) {
+					return
+				}
+				fail(err)
+				return
+			}
+			// The reply's step field carries the server version so
+			// workers can measure parameter staleness.
+			reply := encodeFloats(uint32(version), params)
+			if err := writeFrame(conn, msgParams, reply); err != nil {
+				return
+			}
+			s.bytesOut.Add(int64(len(reply) + 5))
+		default:
+			fail(fmt.Errorf("ps: unexpected message type %d", typ))
+			return
+		}
+	}
+}
+
+var errClosed = errors.New("ps: server closed")
+
+// sync processes one gradient push and returns the parameters the worker
+// should continue with. A zero-length gradient is a pure fetch. step is
+// the worker's local iteration clock, used for the SSP staleness bound.
+func (s *Server) sync(workerID int, step uint32, grad []float64) ([]float64, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, errClosed
+	}
+	if len(grad) == 0 {
+		return append([]float64(nil), s.params...), s.version, nil
+	}
+	if len(grad) != len(s.params) {
+		return nil, 0, fmt.Errorf("ps: gradient of %d values for %d params", len(grad), len(s.params))
+	}
+	s.pushes.Add(1)
+
+	if s.cfg.Sync == model.ASP {
+		// Apply immediately.
+		s.opt.Apply(s.params, grad)
+		s.version++
+		s.applies.Add(1)
+		if workerID >= 0 && workerID < len(s.clocks) && step > s.clocks[workerID] {
+			s.clocks[workerID] = step
+			s.cond.Broadcast() // a slow worker advancing may release others
+		}
+		// SSP: block the reply while this worker is too far ahead of the
+		// slowest (Close releases waiters).
+		if s.cfg.MaxStaleness > 0 {
+			for !s.closed && s.minClock()+uint32(s.cfg.MaxStaleness) < step {
+				s.cond.Wait()
+			}
+			if s.closed {
+				return nil, 0, errClosed
+			}
+		}
+		return append([]float64(nil), s.params...), s.version, nil
+	}
+
+	// BSP: accumulate; the last worker of the round applies the averaged
+	// gradient and releases the barrier.
+	tensor.Axpy(1, grad, s.pending)
+	s.nPushed++
+	myRound := s.version
+	if s.nPushed == s.cfg.Workers {
+		tensor.Scale(1/float64(s.cfg.Workers), s.pending)
+		s.opt.Apply(s.params, s.pending)
+		for i := range s.pending {
+			s.pending[i] = 0
+		}
+		s.nPushed = 0
+		s.version++
+		s.applies.Add(1)
+		s.cond.Broadcast()
+	} else {
+		for s.version == myRound && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return nil, 0, errClosed
+		}
+	}
+	return append([]float64(nil), s.params...), s.version, nil
+}
+
+// minClock returns the slowest worker's reported step. Callers hold mu.
+func (s *Server) minClock() uint32 {
+	if len(s.clocks) == 0 {
+		return 0
+	}
+	min := s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}

@@ -1,0 +1,128 @@
+// Package sweep runs batches of training-simulator configurations
+// concurrently: a worker pool over (workload, cluster, iterations) points
+// with order-preserving results. The experiment harness enumerates its
+// points explicitly; sweep is the general-purpose tool for users exploring
+// a provisioning space ("every workload at 1-16 workers on every type").
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/model"
+)
+
+// Point is one configuration to simulate.
+type Point struct {
+	// Workload to train.
+	Workload *model.Workload
+	// Cluster shape.
+	Cluster cloud.ClusterSpec
+	// Iterations overrides the workload budget when > 0.
+	Iterations int
+	// Seed for the run.
+	Seed int64
+	// Label is carried through to the outcome for identification.
+	Label string
+}
+
+// Outcome pairs a point with its simulation result (or error).
+type Outcome struct {
+	Point  Point
+	Result *ddnnsim.Result
+	Err    error
+}
+
+// Run simulates every point with up to parallelism concurrent workers
+// (0 selects GOMAXPROCS) and returns outcomes in input order.
+func Run(points []Point, parallelism int) []Outcome {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(points) {
+		parallelism = len(points)
+	}
+	out := make([]Outcome, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				p := points[i]
+				res, err := ddnnsim.Run(p.Workload, p.Cluster, ddnnsim.Options{
+					Iterations: p.Iterations,
+					Seed:       p.Seed,
+					LossEvery:  maxInt(p.Iterations, 1),
+				})
+				out[i] = Outcome{Point: p, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// Grid enumerates the cross product of workloads x types x worker counts
+// x PS counts as homogeneous clusters, skipping shapes with more PS than
+// workers.
+func Grid(workloads []*model.Workload, types []cloud.InstanceType, workers, ps []int, iterations int, seed int64) []Point {
+	var out []Point
+	for _, w := range workloads {
+		for _, t := range types {
+			for _, n := range workers {
+				for _, p := range ps {
+					if p > n || n < 1 || p < 1 {
+						continue
+					}
+					out = append(out, Point{
+						Workload:   w,
+						Cluster:    cloud.Homogeneous(t, n, p),
+						Iterations: iterations,
+						Seed:       seed,
+						Label:      fmt.Sprintf("%s/%s/%dwk/%dps", w.Name, t.Name, n, p),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Best returns the outcome with the smallest training time among
+// successful runs, or an error if none succeeded.
+func Best(outcomes []Outcome) (Outcome, error) {
+	var best Outcome
+	found := false
+	for _, oc := range outcomes {
+		if oc.Err != nil || oc.Result == nil {
+			continue
+		}
+		if !found || oc.Result.TrainingTime < best.Result.TrainingTime {
+			best = oc
+			found = true
+		}
+	}
+	if !found {
+		return Outcome{}, fmt.Errorf("sweep: no successful outcomes among %d", len(outcomes))
+	}
+	return best, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

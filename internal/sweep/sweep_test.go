@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+func fixtures(t *testing.T) (*model.Workload, cloud.InstanceType) {
+	t.Helper()
+	w, err := model.WorkloadByName("mnist DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m4
+}
+
+func TestGridEnumeration(t *testing.T) {
+	w, m4 := fixtures(t)
+	m1, _ := cloud.DefaultCatalog().Lookup(cloud.M1XLarge)
+	pts := Grid([]*model.Workload{w}, []cloud.InstanceType{m4, m1}, []int{1, 2, 4}, []int{1, 2}, 50, 7)
+	// PS > workers shapes are skipped: n=1 only allows ps=1.
+	want := 2 * (1 + 2 + 2) // per type: (1,1) (2,1) (2,2) (4,1) (4,2)
+	if len(pts) != want {
+		t.Fatalf("grid = %d points, want %d", len(pts), want)
+	}
+	for _, p := range pts {
+		if p.Iterations != 50 || p.Seed != 7 {
+			t.Errorf("point config lost: %+v", p)
+		}
+		if !strings.Contains(p.Label, w.Name) {
+			t.Errorf("label %q", p.Label)
+		}
+	}
+}
+
+func TestRunPreservesOrderAndCompletes(t *testing.T) {
+	w, m4 := fixtures(t)
+	pts := Grid([]*model.Workload{w}, []cloud.InstanceType{m4}, []int{1, 2, 4, 8}, []int{1}, 60, 1)
+	outcomes := Run(pts, 4)
+	if len(outcomes) != len(pts) {
+		t.Fatalf("%d outcomes for %d points", len(outcomes), len(pts))
+	}
+	for i, oc := range outcomes {
+		if oc.Point.Label != pts[i].Label {
+			t.Errorf("outcome %d out of order: %s vs %s", i, oc.Point.Label, pts[i].Label)
+		}
+		if oc.Err != nil {
+			t.Errorf("%s failed: %v", oc.Point.Label, oc.Err)
+		}
+		if oc.Result == nil || oc.Result.Iterations != 60 {
+			t.Errorf("%s incomplete result", oc.Point.Label)
+		}
+	}
+	// The U-shape is visible through the sweep: 2 workers beat 1.
+	if outcomes[1].Result.TrainingTime >= outcomes[0].Result.TrainingTime {
+		t.Errorf("2 workers (%v) should beat 1 (%v)",
+			outcomes[1].Result.TrainingTime, outcomes[0].Result.TrainingTime)
+	}
+}
+
+func TestRunContainsErrors(t *testing.T) {
+	w, m4 := fixtures(t)
+	pts := []Point{
+		{Workload: nil, Cluster: cloud.Homogeneous(m4, 1, 1), Iterations: 10, Label: "bad"},
+		{Workload: w, Cluster: cloud.Homogeneous(m4, 1, 1), Iterations: 10, Label: "good"},
+	}
+	outcomes := Run(pts, 2)
+	if outcomes[0].Err == nil {
+		t.Error("nil workload did not error")
+	}
+	if outcomes[1].Err != nil {
+		t.Errorf("good point failed: %v", outcomes[1].Err)
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	if got := Run(nil, 0); len(got) != 0 {
+		t.Errorf("empty run = %d outcomes", len(got))
+	}
+	w, m4 := fixtures(t)
+	pts := Grid([]*model.Workload{w}, []cloud.InstanceType{m4}, []int{1}, []int{1}, 20, 1)
+	outcomes := Run(pts, 0) // default parallelism
+	if len(outcomes) != 1 || outcomes[0].Err != nil {
+		t.Errorf("default-parallelism run failed: %+v", outcomes)
+	}
+}
+
+func TestBest(t *testing.T) {
+	w, m4 := fixtures(t)
+	pts := Grid([]*model.Workload{w}, []cloud.InstanceType{m4}, []int{1, 2, 4, 8}, []int{1}, 80, 1)
+	outcomes := Run(pts, 0)
+	best, err := Best(outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mnist's sweet spot at these scales is 4 workers.
+	if best.Point.Cluster.NumWorkers() != 4 {
+		t.Errorf("best = %s, want the 4-worker point", best.Point.Label)
+	}
+	if _, err := Best(nil); err == nil {
+		t.Error("Best of nothing succeeded")
+	}
+	failed := []Outcome{{Err: errFake}}
+	if _, err := Best(failed); err == nil {
+		t.Error("Best over failures succeeded")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }

@@ -1,0 +1,280 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMatMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			sum := 0.0
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+func randomDense(rng *rand.Rand, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func densesEqual(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewDenseAndAccessors(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	if len(m.Row(1)) != 3 || m.Row(1)[2] != 5 {
+		t.Error("Row view wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestNewDensePanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero shape")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Error("FromSlice layout wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	FromSlice(2, 2, []float64{1})
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	dst := NewDense(2, 2)
+	MatMul(dst, a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !densesEqual(dst, want, 1e-12) {
+		t.Errorf("got %v", dst.Data)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on shape mismatch")
+		}
+	}()
+	MatMul(NewDense(2, 2), NewDense(2, 3), NewDense(2, 2))
+}
+
+func TestMatMulMatchesNaiveLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 130, 70)
+	b := randomDense(rng, 70, 90)
+	dst := NewDense(130, 90)
+	MatMul(dst, a, b) // large enough to hit the parallel path
+	if !densesEqual(dst, naiveMatMul(a, b), 1e-9) {
+		t.Error("parallel blocked matmul disagrees with naive")
+	}
+}
+
+func TestMatMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 40, 15) // k x m
+	b := randomDense(rng, 40, 25) // k x n
+	dst := NewDense(15, 25)
+	MatMulATB(dst, a, b)
+	// Compare against explicit transpose.
+	at := NewDense(15, 40)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	if !densesEqual(dst, naiveMatMul(at, b), 1e-9) {
+		t.Error("MatMulATB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 30, 20)
+	b := randomDense(rng, 45, 20)
+	dst := NewDense(30, 45)
+	MatMulABT(dst, a, b)
+	bt := NewDense(20, 45)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	if !densesEqual(dst, naiveMatMul(a, bt), 1e-9) {
+		t.Error("MatMulABT disagrees with explicit transpose")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ via the specialized kernels.
+func TestPropertyMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(12)+1, rng.Intn(12)+1, rng.Intn(12)+1
+		a := randomDense(rng, m, k)
+		b := randomDense(rng, k, n)
+		ab := NewDense(m, n)
+		MatMul(ab, a, b)
+		// Compute abT2 = (Bᵀ·Aᵀ)ᵀ elementwise check: ab[i][j] ==
+		// Σ_k a[i][k] b[k][j] — verify against naive.
+		return densesEqual(ab, naiveMatMul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	AddRowVector(m, []float64{10, 20})
+	want := FromSlice(2, 2, []float64{11, 22, 13, 24})
+	if !densesEqual(m, want, 0) {
+		t.Errorf("got %v", m.Data)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Errorf("axpy: %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3 || y[2] != 6 {
+		t.Errorf("scale: %v", y)
+	}
+	if d := Dot([]float64{1, 2}, []float64{3, 4}); d != 11 {
+		t.Errorf("dot = %v", d)
+	}
+	if n := Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-12 {
+		t.Errorf("norm = %v", n)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for _, v := range m.Row(i) {
+			if v < 0 || v > 1 {
+				t.Errorf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// Large inputs must not overflow (stability).
+	if math.Abs(m.At(1, 0)-1.0/3) > 1e-9 {
+		t.Errorf("uniform row: %v", m.Row(1))
+	}
+	if m.At(0, 2) <= m.At(0, 0) {
+		t.Error("softmax not monotone")
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 5, 2, 7, 1, 3})
+	if m.ArgMaxRow(0) != 1 || m.ArgMaxRow(1) != 0 {
+		t.Error("argmax wrong")
+	}
+}
+
+func TestReLUForwardAndMask(t *testing.T) {
+	m := FromSlice(1, 4, []float64{-1, 2, 0, 3})
+	mask := NewDense(1, 4)
+	ReLUForward(m, mask)
+	if m.Data[0] != 0 || m.Data[1] != 2 || m.Data[3] != 3 {
+		t.Errorf("relu: %v", m.Data)
+	}
+	if mask.Data[0] != 0 || mask.Data[1] != 1 || mask.Data[2] != 0 {
+		t.Errorf("mask: %v", mask.Data)
+	}
+}
+
+func TestMulElem(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{2, 0, 4})
+	MulElem(a, b)
+	if a.Data[0] != 2 || a.Data[1] != 0 || a.Data[2] != 12 {
+		t.Errorf("mulelem: %v", a.Data)
+	}
+}
+
+func TestRandomizeStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewDense(100, 100)
+	m.Randomize(rng, 100)
+	mean, sq := 0.0, 0.0
+	for _, v := range m.Data {
+		mean += v
+		sq += v * v
+	}
+	n := float64(len(m.Data))
+	mean /= n
+	std := math.Sqrt(sq/n - mean*mean)
+	wantStd := math.Sqrt(2.0 / 100)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(std-wantStd)/wantStd > 0.05 {
+		t.Errorf("std = %v, want %v", std, wantStd)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 256, 256)
+	bb := randomDense(rng, 256, 256)
+	dst := NewDense(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, bb)
+	}
+}

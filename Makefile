@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-obs check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; internal/obs in
+# particular exercises its registry and tracer from many goroutines.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-obs runs just the observability hot-path benchmarks (counter
+# increments must stay <=50 ns/op).
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkSpanStartEnd' -benchmem .
+	$(GO) test -run xxx -bench . -benchmem ./internal/obs
+
+check: vet build race

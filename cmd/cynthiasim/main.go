@@ -15,6 +15,7 @@ import (
 	"cynthia/internal/cloud"
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
 )
 
 func main() {
@@ -28,15 +29,16 @@ func main() {
 		seed         = flag.Int64("seed", 0, "simulation seed")
 		trace        = flag.Bool("trace", false, "print the PS NIC throughput series")
 		records      = flag.Bool("records", false, "print per-iteration records as CSV")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
-	if err := run(*workloadName, *workers, *ps, *typeName, *stragglers, *iterations, *seed, *trace, *records); err != nil {
+	if err := run(*workloadName, *workers, *ps, *typeName, *stragglers, *iterations, *seed, *trace, *records, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cynthiasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName string, workers, ps int, typeName string, stragglers bool, iterations int, seed int64, trace, records bool) error {
+func run(workloadName string, workers, ps int, typeName string, stragglers bool, iterations int, seed int64, trace, records bool, traceOut string) error {
 	w, err := model.WorkloadByName(workloadName)
 	if err != nil {
 		return err
@@ -58,9 +60,28 @@ func run(workloadName string, workers, ps int, typeName string, stragglers bool,
 	if trace {
 		opt.TraceBin = 1
 	}
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		tracer = obs.NewTracer()
+		opt.Trace = tracer
+	}
 	res, err := ddnnsim.Run(w, spec, opt)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace with %d events to %s\n", len(tracer.Events()), traceOut)
 	}
 	fmt.Printf("%s on %d x %s workers + %d PS", w.Name, workers, typeName, ps)
 	if stragglers {

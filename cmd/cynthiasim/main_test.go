@@ -1,27 +1,80 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunBasic(t *testing.T) {
-	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 100, 1, false, true); err != nil {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 100, 1, false, true, ""); err != nil {
 		t.Fatalf("basic run failed: %v", err)
 	}
 }
 
 func TestRunWithStragglersAndTrace(t *testing.T) {
-	if err := run("mnist DNN", 4, 1, "m4.xlarge", true, 100, 1, true, false); err != nil {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", true, 100, 1, true, false, ""); err != nil {
 		t.Fatalf("straggler+trace run failed: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("NoSuchNet", 4, 1, "m4.xlarge", false, 10, 1, false, false); err == nil {
+	if err := run("NoSuchNet", 4, 1, "m4.xlarge", false, 10, 1, false, false, ""); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("mnist DNN", 4, 1, "z9.huge", false, 10, 1, false, false); err == nil {
+	if err := run("mnist DNN", 4, 1, "z9.huge", false, 10, 1, false, false, ""); err == nil {
 		t.Error("unknown type accepted")
 	}
-	if err := run("mnist DNN", 0, 1, "m4.xlarge", false, 10, 1, false, false); err == nil {
+	if err := run("mnist DNN", 0, 1, "m4.xlarge", false, 10, 1, false, false, ""); err == nil {
 		t.Error("zero workers accepted")
+	}
+}
+
+// TestRunTraceOut round-trips a -trace-out file: the output must be valid
+// JSON, the non-metadata events must have monotonically non-decreasing
+// timestamps, and the BSP phases (compute, push, pull, barrier) must all
+// be covered by spans.
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 20, 1, false, false, path); err != nil {
+		t.Fatalf("trace-out run failed: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace contains no events")
+	}
+	cats := map[string]int{}
+	last := -1.0
+	for _, e := range events {
+		if e.Ph == "M" {
+			continue // metadata events carry no timestamps
+		}
+		if e.Ts < last {
+			t.Fatalf("timestamps not monotonic: %.3f after %.3f (%s)", e.Ts, last, e.Name)
+		}
+		last = e.Ts
+		cats[e.Cat]++
+		if e.Ph == "X" && e.Dur < 0 {
+			t.Errorf("negative duration %f on %s", e.Dur, e.Name)
+		}
+	}
+	for _, want := range []string{"compute", "push", "pull", "barrier"} {
+		if cats[want] == 0 {
+			t.Errorf("no %q spans in trace (got %v)", want, cats)
+		}
 	}
 }

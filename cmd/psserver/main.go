@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -22,6 +24,7 @@ import (
 
 	"cynthia/internal/model"
 	"cynthia/internal/nn"
+	"cynthia/internal/obs"
 	"cynthia/internal/ps"
 )
 
@@ -37,9 +40,10 @@ func main() {
 		optimizer = flag.String("optimizer", "sgd", "update rule: sgd, momentum, or adam")
 		staleness = flag.Int("staleness", 0, "SSP staleness bound for asp (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "parameter initialization seed (must match workers)")
+		metrics   = flag.String("metrics", "", "serve /metrics and /debug/snapshot on this address (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *sizes, *shard, *shards, *workers, *sync, *optimizer, *staleness, *lr, *seed); err != nil {
+	if err := run(*addr, *sizes, *shard, *shards, *workers, *sync, *optimizer, *staleness, *lr, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "psserver:", err)
 		os.Exit(1)
 	}
@@ -58,7 +62,24 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName string, staleness int, lr float64, seed int64) error {
+// serveMetrics exposes the registry's /metrics and /debug/snapshot
+// endpoints on addr in a background goroutine. It returns the bound
+// address and a closer for the listener.
+func serveMetrics(addr string, reg *obs.Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: obs.Mux(reg)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			obs.Warnf("psserver: metrics server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName string, staleness int, lr float64, seed int64, metricsAddr string) error {
 	sizes, err := parseSizes(sizesStr)
 	if err != nil {
 		return err
@@ -108,6 +129,17 @@ func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName str
 	}
 	fmt.Printf("psserver: shard %d/%d (%d params) listening on %s, %s, %d workers, lr=%g\n",
 		shard, shards, hi-lo, bound, mode, workers, lr)
+	if metricsAddr != "" {
+		mBound, closeMetrics, err := serveMetrics(metricsAddr, obs.Default())
+		if err != nil {
+			// Observability must not take the shard down: warn and serve
+			// parameters anyway.
+			obs.Warnf("psserver: cannot serve metrics on %s: %v", metricsAddr, err)
+		} else {
+			defer closeMetrics()
+			fmt.Printf("psserver: metrics on http://%s/metrics (snapshot at /debug/snapshot)\n", mBound)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

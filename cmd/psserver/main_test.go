@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cynthia/internal/obs"
+	"cynthia/internal/ps"
+)
 
 func TestParseSizes(t *testing.T) {
 	got, err := parseSizes("784, 512,10")
@@ -16,19 +25,60 @@ func TestParseSizes(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("127.0.0.1:0", "784,10", 2, 2, 1, "bsp", "sgd", 0, 0.1, 1); err == nil {
+	if err := run("127.0.0.1:0", "784,10", 2, 2, 1, "bsp", "sgd", 0, 0.1, 1, ""); err == nil {
 		t.Error("out-of-range shard accepted")
 	}
-	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "ssp", "sgd", 0, 0.1, 1); err == nil {
+	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "ssp", "sgd", 0, 0.1, 1, ""); err == nil {
 		t.Error("unknown sync accepted")
 	}
-	if err := run("127.0.0.1:0", "bad", 0, 1, 1, "bsp", "sgd", 0, 0.1, 1); err == nil {
+	if err := run("127.0.0.1:0", "bad", 0, 1, 1, "bsp", "sgd", 0, 0.1, 1, ""); err == nil {
 		t.Error("bad sizes accepted")
 	}
 }
 
 func TestRunRejectsBadOptimizer(t *testing.T) {
-	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "bsp", "lamb", 0, 0.1, 1); err == nil {
+	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "bsp", "lamb", 0, 0.1, 1, ""); err == nil {
 		t.Error("unknown optimizer accepted")
+	}
+}
+
+// TestServeMetrics spins up a PS shard's registry behind serveMetrics and
+// checks the scrape includes the server's counter families.
+func TestServeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	if _, err := ps.NewServer(ps.ServerConfig{Init: make([]float64, 8), Workers: 1, LR: 0.1, Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	addr, closer, err := serveMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := get("/metrics")
+	for _, want := range []string{"cynthia_ps_push_total", "cynthia_ps_push_bytes_total", "cynthia_ps_push_latency_seconds_bucket"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	snap := get("/debug/snapshot")
+	if !strings.Contains(snap, "cynthia_ps_push_total") {
+		t.Errorf("/debug/snapshot missing cynthia_ps_push_total: %s", snap)
 	}
 }

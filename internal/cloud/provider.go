@@ -6,7 +6,37 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"cynthia/internal/obs"
 )
+
+// providerMetrics count instance lifecycle activity on the default
+// registry, shared across all Provider values in the process.
+type providerMetrics struct {
+	launched   *obs.CounterVec
+	terminated *obs.Counter
+	capacity   *obs.Counter
+}
+
+var (
+	provOnce sync.Once
+	prov     providerMetrics
+)
+
+func provObs() *providerMetrics {
+	provOnce.Do(func() {
+		reg := obs.Default()
+		prov = providerMetrics{
+			launched: reg.CounterVec("cynthia_cloud_instances_launched_total",
+				"instances launched, by type", "type"),
+			terminated: reg.Counter("cynthia_cloud_instances_terminated_total",
+				"instances terminated"),
+			capacity: reg.Counter("cynthia_cloud_capacity_errors_total",
+				"launch requests denied by capacity limits"),
+		}
+	})
+	return &prov
+}
 
 // InstanceState is the lifecycle state of a simulated instance.
 type InstanceState int
@@ -116,6 +146,9 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if limit, ok := p.limits[typeName]; ok && p.running[typeName]+count > limit {
+		provObs().capacity.Inc()
+		obs.Debugf("cloud: capacity denied: %d %s requested, %d running, limit %d",
+			count, typeName, p.running[typeName], limit)
 		return nil, fmt.Errorf("%w: %d running + %d requested > limit %d for %s",
 			ErrCapacity, p.running[typeName], count, limit, typeName)
 	}
@@ -134,6 +167,8 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 		out = append(out, inst)
 	}
 	p.running[typeName] += count
+	provObs().launched.With(typeName).Add(int64(count))
+	obs.Debugf("cloud: launched %d x %s (%s..%s)", count, typeName, out[0].ID, out[len(out)-1].ID)
 	return out, nil
 }
 
@@ -152,6 +187,8 @@ func (p *Provider) Terminate(id string) error {
 	inst.State = StateTerminated
 	inst.TerminatedAt = p.clock()
 	p.running[inst.Type.Name]--
+	provObs().terminated.Inc()
+	obs.Debugf("cloud: terminated %s (%s)", id, inst.Type.Name)
 	return nil
 }
 

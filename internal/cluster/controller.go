@@ -4,14 +4,44 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
 	"cynthia/internal/perf"
 	"cynthia/internal/plan"
 	"cynthia/internal/profile"
 )
+
+// ctrlMetrics instrument the job pipeline on the default registry:
+// terminal statuses, per-phase durations (the lifecycle transitions
+// planning -> provisioning -> running -> done), and in-flight jobs.
+type ctrlMetrics struct {
+	jobs    *obs.CounterVec
+	phase   *obs.HistogramVec
+	running *obs.Gauge
+}
+
+var (
+	ctrlOnce sync.Once
+	ctrl     ctrlMetrics
+)
+
+func ctrlObs() *ctrlMetrics {
+	ctrlOnce.Do(func() {
+		reg := obs.Default()
+		ctrl = ctrlMetrics{
+			jobs: reg.CounterVec("cynthia_jobs_total",
+				"finished jobs by terminal status", "status"),
+			phase: reg.HistogramVec("cynthia_job_phase_seconds",
+				"wall time spent in each job lifecycle phase", nil, "phase"),
+			running: reg.Gauge("cynthia_jobs_inflight", "jobs currently in the pipeline"),
+		}
+	})
+	return &ctrl
+}
 
 // JobStatus is a training job's lifecycle state.
 type JobStatus string
@@ -116,11 +146,24 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	c.mu.Unlock()
 
 	c.master.log.record("JobSubmitted", "job/"+job.ID, "%s, goal %.0fs / loss %.2f", w.Name, goal.TimeSec, goal.LossTarget)
+	co := ctrlObs()
+	co.running.Add(1)
+	defer co.running.Add(-1)
+	phaseStart := time.Now()
+	// mark closes one lifecycle phase: it feeds the phase-duration
+	// histogram and records the transition event with its duration.
+	mark := func(phase string) {
+		d := time.Since(phaseStart).Seconds()
+		phaseStart = time.Now()
+		co.phase.With(phase).Observe(d)
+		c.master.log.record("JobPhase", "job/"+job.ID, "%s finished in %.3fs", phase, d)
+	}
 	fail := func(err error) (*Job, error) {
 		c.mu.Lock()
 		job.Status = StatusFailed
 		job.Err = err.Error()
 		c.mu.Unlock()
+		co.jobs.With(string(StatusFailed)).Inc()
 		c.master.log.record("JobFailed", "job/"+job.ID, "%v", err)
 		return job, err
 	}
@@ -129,6 +172,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	if err != nil {
 		return fail(err)
 	}
+	mark("profile")
 	req := plan.Request{
 		Profile:   prof,
 		Goal:      goal,
@@ -143,6 +187,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	job.Plan = p
 	job.Status = StatusProvisioning
 	c.mu.Unlock()
+	mark("plan")
 	c.master.log.record("JobPlanned", "job/"+job.ID, "%s", p)
 
 	// Launch instances (one docker per core). If the provider is out of
@@ -188,6 +233,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	c.mu.Lock()
 	job.Status = StatusRunning
 	c.mu.Unlock()
+	mark("launch")
 	res, err := ddnnsim.Run(w, cloud.Homogeneous(p.Type, p.Workers, p.PS), ddnnsim.Options{
 		Iterations: p.Iterations,
 		LossEvery:  maxInt(p.Iterations/100, 1),
@@ -195,6 +241,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	if err != nil {
 		return fail(err)
 	}
+	mark("train")
 
 	c.mu.Lock()
 	job.TrainingTime = res.TrainingTime
@@ -207,6 +254,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	}
 	status := job.Status
 	c.mu.Unlock()
+	co.jobs.With(string(status)).Inc()
 	c.master.log.record("JobFinished", "job/"+job.ID, "%s in %.0fs, loss %.3f, $%.3f",
 		status, res.TrainingTime, res.FinalLoss, job.Cost)
 	return job, nil

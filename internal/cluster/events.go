@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"cynthia/internal/obs"
 )
 
 // Event is one control-plane occurrence, in the style of Kubernetes
@@ -35,8 +37,12 @@ type eventLog struct {
 	limit  int
 }
 
-// record appends an event, evicting the oldest past the bound.
+// record appends an event, evicting the oldest past the bound. Every
+// event is mirrored to the obs debug log (invisible at the default level,
+// `obs.L().SetLevel(obs.LevelDebug)` streams the control plane live).
 func (l *eventLog) record(reason, object, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	obs.Debugf("cluster: %-16s %-24s %s", reason, object, msg)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.limit == 0 {
@@ -48,7 +54,7 @@ func (l *eventLog) record(reason, object, format string, args ...any) {
 		Time:    time.Now(),
 		Reason:  reason,
 		Object:  object,
-		Message: fmt.Sprintf(format, args...),
+		Message: msg,
 	})
 	if len(l.events) > l.limit {
 		l.events = l.events[len(l.events)-l.limit:]

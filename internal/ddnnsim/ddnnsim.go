@@ -22,6 +22,16 @@ import (
 	"cynthia/internal/cloud"
 	"cynthia/internal/flow"
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
+)
+
+// Trace-track process IDs: the exported Chrome trace groups spans into a
+// cluster-level track (rounds/barriers), one track per worker, and one
+// per PS docker.
+const (
+	pidCluster = 0
+	pidWorkers = 1
+	pidPS      = 2
 )
 
 // ClusterSpec aliases cloud.ClusterSpec: the dockers of a training
@@ -68,6 +78,16 @@ type Options struct {
 	// RecordIterations captures a per-iteration record (timings and
 	// breakdown) in Result.IterRecords.
 	RecordIterations bool
+	// Trace, when non-nil, receives the simulated training timeline as
+	// structured spans on the simulated clock: per-worker compute, push,
+	// and pull phases, PS-side aggregation CPU work, and per-round
+	// barrier spans. Export it with Tracer.WriteJSON and open the file
+	// in chrome://tracing or Perfetto.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives end-of-run gauges: per-resource
+	// CPU/NIC utilization (the measured Eq. 6-7 demand/capacity terms),
+	// training time, iteration count, and engine event counters.
+	Metrics *obs.Registry
 }
 
 // IterRecord is one iteration's timing breakdown: for BSP a training
@@ -263,12 +283,26 @@ func newSim(w *model.Workload, cluster ClusterSpec, iters int, opt Options) *sim
 		}
 		s.psNIC = append(s.psNIC, nic)
 	}
+	if tr := opt.Trace; tr != nil {
+		tr.ProcessName(pidCluster, "cluster")
+		tr.ThreadName(pidCluster, 0, "rounds")
+		tr.ProcessName(pidWorkers, "workers")
+		for j, t := range cluster.Workers {
+			tr.ThreadName(pidWorkers, j, fmt.Sprintf("worker %d (%s)", j, t.Name))
+		}
+		tr.ProcessName(pidPS, "parameter servers")
+		for k, t := range cluster.PS {
+			tr.ThreadName(pidPS, k, fmt.Sprintf("ps %d (%s)", k, t.Name))
+		}
+	}
 	return s
 }
 
 // transfer submits one NIC transfer between worker j and PS shard k plus
 // the PS-side CPU work for handling it, invoking done when both finish.
-func (s *sim) transfer(label string, j, k int, mb float64, done func(now float64)) {
+// cat categorizes the trace span ("push" or "pull"); the NIC span lands
+// on worker j's track, the aggregation CPU span on PS k's track.
+func (s *sim) transfer(label, cat string, j, k int, mb float64, done func(now float64)) {
 	pending := 1
 	cpuWork := mb * s.psCPUPerMB
 	if cpuWork > 0 {
@@ -280,9 +314,20 @@ func (s *sim) transfer(label string, j, k int, mb float64, done func(now float64
 			done(now)
 		}
 	}
-	s.eng.Submit(label, mb, []*flow.Resource{s.wkNIC[j], s.psNIC[k]}, finish)
+	begin := s.eng.Now()
+	s.eng.Submit(label, mb, []*flow.Resource{s.wkNIC[j], s.psNIC[k]}, func(now float64) {
+		if s.opt.Trace != nil {
+			s.opt.Trace.Complete(pidWorkers, j, cat, label, begin, now)
+		}
+		finish(now)
+	})
 	if cpuWork > 0 {
-		s.eng.Submit(label+".cpu", cpuWork, []*flow.Resource{s.psCPU[k]}, finish)
+		s.eng.Submit(label+".cpu", cpuWork, []*flow.Resource{s.psCPU[k]}, func(now float64) {
+			if s.opt.Trace != nil {
+				s.opt.Trace.Complete(pidPS, k, "aggregate", label+".cpu", begin, now)
+			}
+			finish(now)
+		})
 	}
 }
 
@@ -336,6 +381,9 @@ func (s *sim) runBSP() {
 		}
 		work := s.noisyWork(s.w.WiterGFLOPs / float64(s.nWk))
 		s.eng.Submit(fmt.Sprintf("comp.r%d.w%d", r, j), work, []*flow.Resource{s.wkCPU[j]}, func(now float64) {
+			if s.opt.Trace != nil {
+				s.opt.Trace.Complete(pidWorkers, j, "compute", fmt.Sprintf("comp.r%d", r), begin, now)
+			}
 			if d := now - begin; d > st.compMax {
 				st.compMax = d
 			}
@@ -347,12 +395,12 @@ func (s *sim) runBSP() {
 			}
 			for k := 0; k < s.nPS; k++ {
 				k := k
-				s.transfer(fmt.Sprintf("push.r%d.w%d.p%d", r, j, k), j, k, s.shardMB, func(now float64) {
+				s.transfer(fmt.Sprintf("push.r%d.w%d.p%d", r, j, k), "push", j, k, s.shardMB, func(now float64) {
 					st.pushesByPS[k]++
 					if st.pushesByPS[k] == s.nWk {
 						// Shard k updated; everyone pulls it.
 						for jj := 0; jj < s.nWk; jj++ {
-							s.transfer(fmt.Sprintf("pull.r%d.w%d.p%d", r, jj, k), jj, k, s.shardMB, func(now float64) {
+							s.transfer(fmt.Sprintf("pull.r%d.w%d.p%d", r, jj, k), "pull", jj, k, s.shardMB, func(now float64) {
 								st.pullsPending--
 								if st.pullsPending == 0 {
 									barrier(r, now)
@@ -380,6 +428,11 @@ func (s *sim) runBSP() {
 
 	barrier = func(r int, now float64) {
 		st := rounds[r]
+		if s.opt.Trace != nil {
+			// The barrier span covers the communication phase: first
+			// gradient byte to the instant the last pull completes.
+			s.opt.Trace.Complete(pidCluster, 0, "barrier", fmt.Sprintf("barrier.r%d", r), st.commStart, now)
+		}
 		s.compTotal += st.compMax
 		s.commTotal += now - st.commStart
 		if s.opt.RecordIterations {
@@ -424,20 +477,23 @@ func (s *sim) runASP() {
 		remaining--
 		begin := s.eng.Now()
 		s.eng.Submit(fmt.Sprintf("comp.w%d", j), s.noisyWork(s.w.WiterGFLOPs), []*flow.Resource{s.wkCPU[j]}, func(now float64) {
+			if s.opt.Trace != nil {
+				s.opt.Trace.Complete(pidWorkers, j, "compute", fmt.Sprintf("comp.w%d", j), begin, now)
+			}
 			compDur := now - begin
 			s.compTotal += compDur
 			commBegin := now
 			// Push to every shard; once all shards applied, pull.
 			pushesLeft := s.nPS
 			for k := 0; k < s.nPS; k++ {
-				s.transfer(fmt.Sprintf("push.w%d.p%d", j, k), j, k, s.shardMB, func(float64) {
+				s.transfer(fmt.Sprintf("push.w%d.p%d", j, k), "push", j, k, s.shardMB, func(float64) {
 					pushesLeft--
 					if pushesLeft > 0 {
 						return
 					}
 					pullsLeft := s.nPS
 					for kk := 0; kk < s.nPS; kk++ {
-						s.transfer(fmt.Sprintf("pull.w%d.p%d", j, kk), j, kk, s.shardMB, func(now float64) {
+						s.transfer(fmt.Sprintf("pull.w%d.p%d", j, kk), "pull", j, kk, s.shardMB, func(now float64) {
 							pullsLeft--
 							if pullsLeft == 0 {
 								s.commTotal += now - commBegin
@@ -510,6 +566,17 @@ func (s *sim) result(end float64) *Result {
 	}
 	if len(res.Loss) > 0 {
 		res.FinalLoss = res.Loss[len(res.Loss)-1].Loss
+	}
+	if reg := s.opt.Metrics; reg != nil {
+		cpus := append(append([]*flow.Resource(nil), s.wkCPU...), s.psCPU...)
+		flow.ExportUtilization(reg, "cynthia_sim_cpu_util",
+			"mean CPU utilization per docker over the run (measured Eq. 6 demand/capacity)", end, cpus...)
+		nics := append(append([]*flow.Resource(nil), s.wkNIC...), s.psNIC...)
+		flow.ExportUtilization(reg, "cynthia_sim_nic_util",
+			"mean NIC utilization per docker over the run (measured Eq. 7 demand/capacity)", end, nics...)
+		reg.Gauge("cynthia_sim_training_time_seconds", "simulated training makespan").Set(end)
+		reg.Gauge("cynthia_sim_iterations", "completed iterations").Set(float64(s.completed))
+		flow.ExportEngine(reg, "cynthia_sim_engine", s.eng)
 	}
 	return res
 }

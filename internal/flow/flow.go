@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"cynthia/internal/obs"
 )
 
 // Resource is a finite-capacity service point shared by flows.
@@ -99,6 +101,29 @@ type Engine struct {
 	timers  timerHeap
 	seq     int // tie-break for deterministic timer ordering
 	stopped bool
+
+	observer func(f *Flow, start, end float64)
+	stats    EngineStats
+}
+
+// EngineStats count the engine's own work, for observability: how many
+// flows ran, how many timers fired, and how many event steps (each step
+// recomputes the max-min allocation) the run took.
+type EngineStats struct {
+	FlowsCompleted int64
+	TimersFired    int64
+	Steps          int64
+}
+
+// Stats returns the engine's cumulative event counts.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// SetFlowObserver installs a callback invoked at every flow completion
+// with the flow and its [start, end] interval in simulated seconds —
+// the hook the simulator uses to build structured trace timelines.
+// Zero-size flows (which complete during Submit) are reported too.
+func (e *Engine) SetFlowObserver(fn func(f *Flow, start, end float64)) {
+	e.observer = fn
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -123,6 +148,10 @@ func (e *Engine) Submit(label string, size float64, path []*Resource, done func(
 	}
 	f := &Flow{label: label, size: size, remaining: size, path: path, done: done, started: e.now, engine: e}
 	if size <= 0 {
+		e.stats.FlowsCompleted++
+		if e.observer != nil {
+			e.observer(f, e.now, e.now)
+		}
 		if done != nil {
 			done(e.now)
 		}
@@ -165,6 +194,7 @@ func (e *Engine) Run(horizon float64) float64 {
 		if len(e.active) == 0 && e.timers.Len() == 0 {
 			break
 		}
+		e.stats.Steps++
 		e.allocate()
 		// Earliest flow completion.
 		nextFlow := math.Inf(1)
@@ -243,6 +273,10 @@ func (e *Engine) completeFinished() {
 	}
 	e.active = kept
 	for _, f := range finished {
+		e.stats.FlowsCompleted++
+		if e.observer != nil {
+			e.observer(f, f.started, e.now)
+		}
 		if f.done != nil {
 			f.done(e.now)
 		}
@@ -253,6 +287,7 @@ func (e *Engine) completeFinished() {
 func (e *Engine) fireTimers() {
 	for e.timers.Len() > 0 && e.timers.peek().at <= e.now+1e-12 {
 		t := e.timers.pop()
+		e.stats.TimersFired++
 		t.fn(e.now)
 	}
 }
@@ -505,4 +540,30 @@ func (s *Series) Sorted() []float64 {
 	out := s.Rates()
 	sort.Float64s(out)
 	return out
+}
+
+// ExportUtilization publishes each resource's mean utilization over
+// [0, now] as a labeled gauge in the registry — the measured counterpart
+// of the paper's Eq. 6-7 demand/capacity ratios. The label value is the
+// resource name (e.g. "ps0.nic").
+func ExportUtilization(reg *obs.Registry, metric, help string, now float64, resources ...*Resource) {
+	if reg == nil || len(resources) == 0 {
+		return
+	}
+	gv := reg.GaugeVec(metric, help, "resource")
+	for _, r := range resources {
+		gv.With(r.Name()).Set(r.Utilization(now))
+	}
+}
+
+// ExportEngine publishes the engine's event-loop counters as gauges under
+// the given metric prefix (<prefix>_flows_total etc.).
+func ExportEngine(reg *obs.Registry, prefix string, e *Engine) {
+	if reg == nil || e == nil {
+		return
+	}
+	st := e.Stats()
+	reg.Gauge(prefix+"_flows_total", "flows completed by the simulation engine").Set(float64(st.FlowsCompleted))
+	reg.Gauge(prefix+"_timers_total", "timers fired by the simulation engine").Set(float64(st.TimersFired))
+	reg.Gauge(prefix+"_steps_total", "event steps (allocation recomputations) taken by the engine").Set(float64(st.Steps))
 }

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// BenchmarkCounterInc guards the hot-path budget: one atomic add, well
+// under the ~50 ns/op ceiling the instrumented PS serve loop assumes.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 1000)
+	}
+}
+
+// BenchmarkSpanStartEnd measures one clock-driven span: two clock reads
+// plus one locked append.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer()
+	sc := tr.Context(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := sc.Start("bench", "unit")
+		sp.End()
+	}
+}

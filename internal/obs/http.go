@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// PrometheusHandler serves the registry in the Prometheus text exposition
+// format; mount it at /metrics.
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// SnapshotHandler serves the registry as a JSON snapshot; mount it at
+// /debug/snapshot.
+func SnapshotHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Mux returns an http.ServeMux with /metrics and /debug/snapshot wired to
+// the registry — everything a scraper or a curl needs.
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(r))
+	mux.Handle("/debug/snapshot", SnapshotHandler(r))
+	return mux
+}

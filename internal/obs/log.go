@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Log levels, in increasing severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Level(%d)", int32(l))
+	}
+}
+
+// Logger is a minimal leveled logger. The zero value is unusable; use
+// NewLogger or the package-level default. It is quiet below its level, so
+// library code can log at debug density without polluting test output.
+type Logger struct {
+	level atomic.Int32
+	mu    sync.Mutex
+	w     io.Writer
+}
+
+// NewLogger returns a logger writing to w at the given minimum level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(level))
+	return l
+}
+
+// defaultLogger is quiet by default: only warnings and errors surface.
+var defaultLogger = NewLogger(os.Stderr, LevelWarn)
+
+// L returns the package-level default logger.
+func L() *Logger { return defaultLogger }
+
+// SetLevel adjusts the minimum level; safe to call concurrently.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Enabled reports whether the given level would be emitted.
+func (l *Logger) Enabled(level Level) bool { return level >= Level(l.level.Load()) }
+
+// SetOutput redirects log output.
+func (l *Logger) SetOutput(w io.Writer) {
+	l.mu.Lock()
+	l.w = w
+	l.mu.Unlock()
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	ts := time.Now().Format("2006-01-02T15:04:05.000Z07:00")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %-5s %s\n", ts, level, msg)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Package-level helpers on the default logger.
+
+// Debugf logs to the default logger at debug level.
+func Debugf(format string, args ...any) { defaultLogger.Debugf(format, args...) }
+
+// Infof logs to the default logger at info level.
+func Infof(format string, args ...any) { defaultLogger.Infof(format, args...) }
+
+// Warnf logs to the default logger at warn level.
+func Warnf(format string, args ...any) { defaultLogger.Warnf(format, args...) }
+
+// Errorf logs to the default logger at error level.
+func Errorf(format string, args ...any) { defaultLogger.Errorf(format, args...) }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debugf("hidden %d", 1)
+	l.Infof("hidden too")
+	l.Warnf("visible warn")
+	l.Errorf("visible error")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("suppressed levels leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  visible warn") || !strings.Contains(out, "ERROR visible error") {
+		t.Errorf("missing lines:\n%s", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(buf.String(), "DEBUG now visible") {
+		t.Errorf("level change ignored:\n%s", buf.String())
+	}
+}
+
+func TestDefaultLoggerQuiet(t *testing.T) {
+	if L().Enabled(LevelInfo) {
+		t.Error("default logger is not quiet: info enabled")
+	}
+	if !L().Enabled(LevelWarn) {
+		t.Error("default logger suppresses warnings")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{
+		LevelDebug: "DEBUG", LevelInfo: "INFO", LevelWarn: "WARN", LevelError: "ERROR", Level(9): "Level(9)",
+	} {
+		if got := lv.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", lv, got, want)
+		}
+	}
+}

@@ -9,11 +9,50 @@ package plan
 import (
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
 	"cynthia/internal/perf"
 )
+
+// planMetrics instrument Algorithm 1 on the default registry: how long a
+// provisioning run takes, how many candidates the bounded search actually
+// evaluated versus the unpruned search space (the Theorem 4.1 pruning
+// effectiveness), and how runs conclude.
+type planMetrics struct {
+	latency     *obs.Histogram
+	scanned     *obs.Counter
+	feasible    *obs.Counter
+	searchSpace *obs.Counter
+	outcomes    *obs.CounterVec
+}
+
+var (
+	metricsOnce sync.Once
+	metrics     planMetrics
+)
+
+func planObs() *planMetrics {
+	metricsOnce.Do(func() {
+		reg := obs.Default()
+		metrics = planMetrics{
+			latency: reg.Histogram("cynthia_plan_latency_seconds",
+				"wall time of one Provision (Algorithm 1) run", nil),
+			scanned: reg.Counter("cynthia_plan_candidates_scanned_total",
+				"candidate configurations evaluated by the bounded search"),
+			feasible: reg.Counter("cynthia_plan_candidates_feasible_total",
+				"evaluated candidates that met the goal"),
+			searchSpace: reg.Counter("cynthia_plan_search_space_total",
+				"unpruned candidate count (types x worker quota x PS escalations); scanned/search_space is the Theorem 4.1 pruning ratio"),
+			outcomes: reg.CounterVec("cynthia_plan_total",
+				"Provision runs by outcome", "outcome"),
+		}
+	})
+	return &metrics
+}
 
 // Goal is the training performance target: finish within TimeSec seconds
 // having reached training loss LossTarget.
@@ -219,6 +258,9 @@ const DefaultHeadroom = 0.07
 // the cheapest such plan across types. If no candidate meets the goal
 // anywhere, the fastest predicted plan is returned with Feasible=false.
 func Provision(req Request) (Plan, error) {
+	m := planObs()
+	start := time.Now()
+	defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
 	if req.Profile == nil {
 		return Plan{}, fmt.Errorf("plan: nil profile")
 	}
@@ -253,6 +295,7 @@ func Provision(req Request) (Plan, error) {
 	}
 	effGoal := req.Goal
 	effGoal.TimeSec *= 1 - headroom
+	m.searchSpace.Add(int64(len(catalog.Types()) * maxWorkers * (maxEsc + 1)))
 
 	w := req.Profile.Workload
 	var best Plan
@@ -315,11 +358,14 @@ func Provision(req Request) (Plan, error) {
 		}
 	}
 	if haveBest {
+		m.outcomes.With("feasible").Inc()
 		return best, nil
 	}
 	if haveEffort {
+		m.outcomes.With("best_effort").Inc()
 		return bestEffort, nil
 	}
+	m.outcomes.With("error").Inc()
 	return Plan{}, fmt.Errorf("plan: no provisioning candidate for %s (goal %.0fs / loss %.3f)",
 		w.Name, req.Goal.TimeSec, req.Goal.LossTarget)
 }
@@ -333,6 +379,8 @@ func minInt(a, b int) int {
 
 // evaluate prices one candidate configuration.
 func evaluate(p *perf.Profile, pred perf.Predictor, w *model.Workload, t cloud.InstanceType, n, nps int, goal Goal) (Plan, error) {
+	m := planObs()
+	m.scanned.Inc()
 	iters, err := w.IterationsToLoss(goal.LossTarget, n)
 	if err != nil {
 		return Plan{}, err
@@ -347,6 +395,10 @@ func evaluate(p *perf.Profile, pred perf.Predictor, w *model.Workload, t cloud.I
 		return Plan{}, err
 	}
 	cost := (t.PricePerHour*float64(n) + t.PricePerHour*float64(nps)) * total / 3600 // Eq. (8)
+	feasible := total <= goal.TimeSec
+	if feasible {
+		m.feasible.Inc()
+	}
 	return Plan{
 		Type:         t,
 		Workers:      n,
@@ -355,6 +407,6 @@ func evaluate(p *perf.Profile, pred perf.Predictor, w *model.Workload, t cloud.I
 		PredIterTime: titer,
 		PredTime:     total,
 		Cost:         cost,
-		Feasible:     total <= goal.TimeSec,
+		Feasible:     feasible,
 	}, nil
 }

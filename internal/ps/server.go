@@ -6,8 +6,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
 	"cynthia/internal/tensor"
 )
 
@@ -35,6 +37,10 @@ type ServerConfig struct {
 	// converges). Ignored for BSP, which is SSP with bound 0 by
 	// construction.
 	MaxStaleness int
+	// Obs receives the shard's metrics (push/apply counters, bytes
+	// moved, push latency, barrier wait, and staleness histograms). Nil
+	// selects obs.Default(); shards sharing a registry aggregate.
+	Obs *obs.Registry
 }
 
 // ServerStats are cumulative counters, safe to read while serving.
@@ -43,6 +49,41 @@ type ServerStats struct {
 	Applies  int64 // SGD updates applied (rounds for BSP, pushes for ASP)
 	BytesIn  int64
 	BytesOut int64
+}
+
+// serverMetrics are the shard's registry-backed collectors, resolved once
+// at construction so the serve loop never touches the registry map.
+type serverMetrics struct {
+	pushes      *obs.Counter
+	applies     *obs.Counter
+	pushBytes   *obs.Counter
+	pullBytes   *obs.Counter
+	pushLatency *obs.Histogram
+	barrierWait *obs.Histogram
+	staleness   *obs.Histogram
+	conns       *obs.Gauge
+	version     *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return serverMetrics{
+		pushes:    reg.Counter("cynthia_ps_push_total", "gradient push messages received"),
+		applies:   reg.Counter("cynthia_ps_apply_total", "optimizer updates applied (rounds for BSP, pushes for ASP)"),
+		pushBytes: reg.Counter("cynthia_ps_push_bytes_total", "bytes received from workers"),
+		pullBytes: reg.Counter("cynthia_ps_pull_bytes_total", "bytes sent back to workers"),
+		pushLatency: reg.Histogram("cynthia_ps_push_latency_seconds",
+			"time from receiving a sync message to the reply hitting the wire (includes barrier wait)", nil),
+		barrierWait: reg.Histogram("cynthia_ps_barrier_wait_seconds",
+			"time a worker blocked on the BSP barrier or the SSP staleness bound", nil),
+		staleness: reg.Histogram("cynthia_ps_staleness_updates",
+			"ASP parameter staleness: updates by other workers between a worker's consecutive syncs",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64}),
+		conns:   reg.Gauge("cynthia_ps_worker_connections", "currently connected workers"),
+		version: reg.Gauge("cynthia_ps_version", "number of applied parameter updates"),
+	}
 }
 
 // Server is one PS shard: it owns a contiguous slice of the flat model
@@ -65,7 +106,15 @@ type Server struct {
 	ln    net.Listener
 	conns map[net.Conn]struct{}
 
+	// Per-shard counters behind Stats(); the registry-backed metrics in m
+	// aggregate across shards that share a registry.
 	pushes, applies, bytesIn, bytesOut atomic.Int64
+	m                                  serverMetrics
+	// lastServed tracks, per worker, the parameter version of the last
+	// reply, for the ASP staleness distribution. Guarded by mu; served
+	// marks workers with a baseline.
+	lastServed []uint64
+	served     []bool
 }
 
 // NewServer validates the configuration and builds a server.
@@ -87,12 +136,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("ps: negative staleness bound %d", cfg.MaxStaleness)
 	}
 	s := &Server{
-		cfg:     cfg,
-		params:  append([]float64(nil), cfg.Init...),
-		pending: make([]float64, len(cfg.Init)),
-		clocks:  make([]uint32, cfg.Workers),
-		conns:   make(map[net.Conn]struct{}),
-		opt:     opt,
+		cfg:        cfg,
+		params:     append([]float64(nil), cfg.Init...),
+		pending:    make([]float64, len(cfg.Init)),
+		clocks:     make([]uint32, cfg.Workers),
+		conns:      make(map[net.Conn]struct{}),
+		opt:        opt,
+		m:          newServerMetrics(cfg.Obs),
+		lastServed: make([]uint64, cfg.Workers),
+		served:     make([]bool, cfg.Workers),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -175,7 +227,9 @@ func (s *Server) Params() []float64 {
 
 // handle serves one worker connection.
 func (s *Server) handle(conn net.Conn) {
+	s.m.conns.Add(1)
 	defer func() {
+		s.m.conns.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -189,6 +243,7 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	s.bytesIn.Add(int64(len(payload) + 5))
+	s.m.pushBytes.Add(int64(len(payload) + 5))
 	if typ != msgHello {
 		fail(fmt.Errorf("ps: expected hello, got type %d", typ))
 		return
@@ -214,10 +269,12 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.bytesIn.Add(int64(len(payload) + 5))
+		s.m.pushBytes.Add(int64(len(payload) + 5))
 		switch typ {
 		case msgBye:
 			return
 		case msgSync:
+			recv := time.Now()
 			step, grad, err := decodeFloats(payload)
 			if err != nil {
 				fail(err)
@@ -238,6 +295,8 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.bytesOut.Add(int64(len(reply) + 5))
+			s.m.pullBytes.Add(int64(len(reply) + 5))
+			s.m.pushLatency.Observe(time.Since(recv).Seconds())
 		default:
 			fail(fmt.Errorf("ps: unexpected message type %d", typ))
 			return
@@ -263,12 +322,24 @@ func (s *Server) sync(workerID int, step uint32, grad []float64) ([]float64, uin
 		return nil, 0, fmt.Errorf("ps: gradient of %d values for %d params", len(grad), len(s.params))
 	}
 	s.pushes.Add(1)
+	s.m.pushes.Inc()
 
 	if s.cfg.Sync == model.ASP {
 		// Apply immediately.
 		s.opt.Apply(s.params, grad)
 		s.version++
 		s.applies.Add(1)
+		s.m.applies.Inc()
+		s.m.version.Set(float64(s.version))
+		// Staleness distribution: updates applied by other workers since
+		// this worker's previous sync (its own apply is excluded).
+		if workerID >= 0 && workerID < len(s.lastServed) {
+			if s.served[workerID] {
+				s.m.staleness.Observe(float64(s.version - s.lastServed[workerID] - 1))
+			}
+			s.lastServed[workerID] = s.version
+			s.served[workerID] = true
+		}
 		if workerID >= 0 && workerID < len(s.clocks) && step > s.clocks[workerID] {
 			s.clocks[workerID] = step
 			s.cond.Broadcast() // a slow worker advancing may release others
@@ -276,9 +347,11 @@ func (s *Server) sync(workerID int, step uint32, grad []float64) ([]float64, uin
 		// SSP: block the reply while this worker is too far ahead of the
 		// slowest (Close releases waiters).
 		if s.cfg.MaxStaleness > 0 {
+			waitStart := time.Now()
 			for !s.closed && s.minClock()+uint32(s.cfg.MaxStaleness) < step {
 				s.cond.Wait()
 			}
+			s.m.barrierWait.Observe(time.Since(waitStart).Seconds())
 			if s.closed {
 				return nil, 0, errClosed
 			}
@@ -300,11 +373,16 @@ func (s *Server) sync(workerID int, step uint32, grad []float64) ([]float64, uin
 		s.nPushed = 0
 		s.version++
 		s.applies.Add(1)
+		s.m.applies.Inc()
+		s.m.version.Set(float64(s.version))
+		s.m.barrierWait.Observe(0) // the round-closing worker never waits
 		s.cond.Broadcast()
 	} else {
+		waitStart := time.Now()
 		for s.version == myRound && !s.closed {
 			s.cond.Wait()
 		}
+		s.m.barrierWait.Observe(time.Since(waitStart).Seconds())
 		if s.closed {
 			return nil, 0, errClosed
 		}

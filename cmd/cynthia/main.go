@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	cynthia -workload "cifar10 DNN" -deadline 5400 -loss 0.8 [-predictor cynthia|paleo] [-validate]
+//	cynthia -workload "cifar10 DNN" -deadline 5400 -loss 0.8 \
+//	        [-predictor cynthia|optimus|paleo] [-provisioner cynthia|optimus-mg] \
+//	        [-parallel N] [-plan-timeout 5s] [-validate]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cynthia/internal/baseline"
 	"cynthia/internal/cloud"
@@ -31,11 +35,15 @@ func main() {
 		lossTarget   = flag.Float64("loss", 0.8, "target training loss")
 		baseName     = flag.String("baseline", cloud.M4XLarge, "profiling baseline instance type")
 		predictor    = flag.String("predictor", "cynthia", "performance model: cynthia, optimus, or paleo")
+		provisioner  = flag.String("provisioner", "cynthia", "planning strategy: cynthia (Algorithm 1) or optimus-mg (marginal gain)")
+		parallel     = flag.Int("parallel", 0, "instance types scanned concurrently (0 = GOMAXPROCS, 1 = serial)")
+		planTimeout  = flag.Duration("plan-timeout", 0, "abort the candidate search after this long (0 = no limit)")
 		validate     = flag.Bool("validate", false, "simulate the plan and report the actual training time")
 		list         = flag.Bool("list", false, "list available workloads and instance types")
 	)
 	flag.Parse()
-	if err := run(*workloadName, *workloadFile, *deadline, *lossTarget, *baseName, *predictor, *validate, *list); err != nil {
+	if err := run(*workloadName, *workloadFile, *deadline, *lossTarget, *baseName, *predictor,
+		*provisioner, *parallel, *planTimeout, *validate, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "cynthia:", err)
 		os.Exit(1)
 	}
@@ -53,7 +61,8 @@ func loadWorkload(name, file string) (*model.Workload, error) {
 	return model.ReadWorkload(f)
 }
 
-func run(workloadName, workloadFile string, deadline, lossTarget float64, baseName, predictorName string, validate, list bool) error {
+func run(workloadName, workloadFile string, deadline, lossTarget float64, baseName, predictorName,
+	provisionerName string, parallel int, planTimeout time.Duration, validate, list bool) error {
 	catalog := cloud.DefaultCatalog()
 	if list {
 		fmt.Println("workloads:")
@@ -101,12 +110,30 @@ func run(workloadName, workloadFile string, deadline, lossTarget float64, baseNa
 		return fmt.Errorf("unknown predictor %q", predictorName)
 	}
 
+	var prov plan.Provisioner
+	provName := "Algorithm 1"
+	switch provisionerName {
+	case "cynthia":
+		prov = &plan.Engine{Parallelism: parallel}
+	case "optimus-mg":
+		prov = baseline.MarginalGain{}
+		provName = baseline.MarginalGain{}.Name()
+	default:
+		return fmt.Errorf("unknown provisioner %q", provisionerName)
+	}
+
+	ctx := context.Background()
+	if planTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, planTimeout)
+		defer cancel()
+	}
 	goal := plan.Goal{TimeSec: deadline, LossTarget: lossTarget}
-	pl, err := plan.Provision(plan.Request{Profile: p, Goal: goal, Predictor: pred, Catalog: catalog})
+	pl, err := prov.Provision(ctx, plan.Request{Profile: p, Goal: goal, Predictor: pred, Catalog: catalog})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plan [%s]: %s\n", pred.Name(), pl)
+	fmt.Printf("plan [%s / %s]: %s\n", provName, pred.Name(), pl)
 
 	if validate {
 		fmt.Println("validating in the simulator...")
@@ -121,7 +148,7 @@ func run(workloadName, workloadFile string, deadline, lossTarget float64, baseNa
 		}
 		fmt.Printf("  actual: %.0fs (goal %.0fs, %s), final loss %.3f, cost $%.3f\n",
 			res.TrainingTime, goal.TimeSec, status, res.FinalLoss,
-			pl.Type.PricePerHour*float64(pl.Workers+pl.PS)*res.TrainingTime/3600)
+			plan.Cost(pl.Type, pl.Workers, pl.PS, res.TrainingTime))
 	}
 	return nil
 }

@@ -55,5 +55,5 @@ func main() {
 	}
 	fmt.Printf("simulated: %.0fs (goal %.0fs), final loss %.3f, cost $%.3f\n",
 		res.TrainingTime, goal.TimeSec, res.FinalLoss,
-		pl.Type.PricePerHour*float64(pl.Workers+pl.PS)*res.TrainingTime/3600)
+		plan.Cost(pl.Type, pl.Workers, pl.PS, res.TrainingTime))
 }

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+	"cynthia/internal/plan"
+)
+
+func mgRequest(t *testing.T, name string, goal plan.Goal) plan.Request {
+	t.Helper()
+	w, err := model.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := cloud.NewCatalog(m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.Request{Profile: perf.SyntheticProfile(w, m4), Goal: goal, Catalog: cat}
+}
+
+func TestMarginalGainMeetsLooseGoal(t *testing.T) {
+	req := mgRequest(t, "cifar10 DNN", plan.Goal{TimeSec: 10800, LossTarget: 0.8})
+	pl, err := MarginalGain{}.Provision(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Feasible {
+		t.Fatalf("loose goal infeasible for marginal gain: %v", pl)
+	}
+	if pl.Workers < pl.PS || pl.Workers > plan.DefaultMaxWorkers {
+		t.Errorf("malformed plan %v", pl)
+	}
+}
+
+func TestMarginalGainCandidatesRanked(t *testing.T) {
+	req := mgRequest(t, "cifar10 DNN", plan.Goal{TimeSec: 7200, LossTarget: 0.8})
+	cands, err := MarginalGain{}.Candidates(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	seenInfeasible := false
+	var prevCost float64
+	for i, c := range cands {
+		if !c.Feasible {
+			seenInfeasible = true
+		} else if seenInfeasible {
+			t.Fatalf("feasible candidate %d after infeasible ones", i)
+		}
+		if i > 0 && cands[i-1].Feasible == c.Feasible && c.Cost < prevCost-1e-12 {
+			t.Fatalf("cost ordering violated at %d", i)
+		}
+		prevCost = c.Cost
+	}
+}
+
+func TestMarginalGainSearchMatchesProvision(t *testing.T) {
+	req := mgRequest(t, "cifar10 DNN", plan.Goal{TimeSec: 7200, LossTarget: 0.8})
+	ctx := context.Background()
+	res, err := MarginalGain{}.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := MarginalGain{}.Provision(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != pl {
+		t.Errorf("Search plan %v != Provision plan %v", res.Plan, pl)
+	}
+	// The chosen plan appears in the ranked trajectory.
+	found := false
+	for _, c := range res.Ranked {
+		if c == pl {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("chosen plan %v not among %d ranked candidates", pl, len(res.Ranked))
+	}
+}
+
+func TestMarginalGainCancelled(t *testing.T) {
+	req := mgRequest(t, "cifar10 DNN", plan.Goal{TimeSec: 7200, LossTarget: 0.8})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (MarginalGain{}).Search(ctx, req); err == nil {
+		t.Error("cancelled search succeeded")
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -76,10 +77,11 @@ type Job struct {
 // master with the bootstrap token, schedules worker and PS pods, runs the
 // training (in the simulator), and tears everything down.
 type Controller struct {
-	master    *Master
-	provider  *cloud.Provider
-	predictor perf.Predictor
-	baseType  string
+	master      *Master
+	provider    *cloud.Provider
+	predictor   perf.Predictor
+	provisioner plan.Provisioner
+	baseType    string
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -104,10 +106,20 @@ func NewController(master *Master, provider *cloud.Provider, predictor perf.Pred
 		master:           master,
 		provider:         provider,
 		predictor:        predictor,
+		provisioner:      plan.DefaultEngine,
 		baseType:         baseType,
 		jobs:             make(map[string]*Job),
 		profiles:         make(map[string]*perf.Profile),
 		CoresPerInstance: 2,
+	}
+}
+
+// UseProvisioner swaps the planning strategy (defaults to
+// plan.DefaultEngine). Pass baseline.MarginalGain{} to drive the cluster
+// with the Optimus-style comparator.
+func (c *Controller) UseProvisioner(p plan.Provisioner) {
+	if p != nil {
+		c.provisioner = p
 	}
 }
 
@@ -179,10 +191,14 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 		Predictor: c.predictor,
 		Catalog:   c.provider.Catalog(),
 	}
-	p, err := plan.Provision(req)
+	// One exhaustive search produces both the chosen plan and the ranked
+	// candidate list, so a later capacity fallback never re-runs
+	// Algorithm 1.
+	res, err := plan.SearchWith(context.Background(), c.provisioner, req)
 	if err != nil {
 		return fail(err)
 	}
+	p := res.Plan
 	c.mu.Lock()
 	job.Plan = p
 	job.Status = StatusProvisioning
@@ -193,11 +209,10 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	// Launch instances (one docker per core). If the provider is out of
 	// capacity for the chosen plan, fall back through the remaining
 	// feasible candidates in cost order.
-	instances, launched, err := c.launchWithFallback(job, req, &p)
+	instances, _, err := c.launchWithFallback(job, res.Ranked, &p)
 	if err != nil {
 		return fail(err)
 	}
-	nInstances := launched
 	cleanup := func() {
 		for _, pod := range c.master.Pods(job.ID) {
 			_ = c.master.Delete(pod.Name)
@@ -234,9 +249,9 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	job.Status = StatusRunning
 	c.mu.Unlock()
 	mark("launch")
-	res, err := ddnnsim.Run(w, cloud.Homogeneous(p.Type, p.Workers, p.PS), ddnnsim.Options{
+	sim, err := ddnnsim.Run(w, cloud.Homogeneous(p.Type, p.Workers, p.PS), ddnnsim.Options{
 		Iterations: p.Iterations,
-		LossEvery:  maxInt(p.Iterations/100, 1),
+		LossEvery:  max(p.Iterations/100, 1),
 	})
 	if err != nil {
 		return fail(err)
@@ -244,10 +259,12 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	mark("train")
 
 	c.mu.Lock()
-	job.TrainingTime = res.TrainingTime
-	job.FinalLoss = res.FinalLoss
-	job.Cost = cloud.Cost(p.Type, nInstances, res.TrainingTime)
-	if res.TrainingTime <= goal.TimeSec*1.05 {
+	job.TrainingTime = sim.TrainingTime
+	job.FinalLoss = sim.FinalLoss
+	// Price the dockers the plan provisioned (Eq. 8), matching the
+	// planner's predicted Cost.
+	job.Cost = plan.Cost(p.Type, p.Workers, p.PS, sim.TrainingTime)
+	if sim.TrainingTime <= goal.TimeSec*1.05 {
 		job.Status = StatusSucceeded
 	} else {
 		job.Status = StatusMissedGoal
@@ -256,14 +273,15 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	c.mu.Unlock()
 	co.jobs.With(string(status)).Inc()
 	c.master.log.record("JobFinished", "job/"+job.ID, "%s in %.0fs, loss %.3f, $%.3f",
-		status, res.TrainingTime, res.FinalLoss, job.Cost)
+		status, sim.TrainingTime, sim.FinalLoss, job.Cost)
 	return job, nil
 }
 
 // launchWithFallback tries the chosen plan first and then, on capacity
-// errors, every remaining feasible candidate in cost order. On success it
-// updates *chosen to the plan that launched and returns the instances.
-func (c *Controller) launchWithFallback(job *Job, req plan.Request, chosen *plan.Plan) ([]*cloud.Instance, int, error) {
+// errors, every remaining feasible candidate from the ranked stream the
+// original search already produced (no re-search). On success it updates
+// *chosen to the plan that launched and returns the instances.
+func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *plan.Plan) ([]*cloud.Instance, int, error) {
 	try := func(p plan.Plan) ([]*cloud.Instance, int, error) {
 		dockers := p.Workers + p.PS
 		n := (dockers + c.CoresPerInstance - 1) / c.CoresPerInstance
@@ -278,11 +296,7 @@ func (c *Controller) launchWithFallback(job *Job, req plan.Request, chosen *plan
 		return nil, 0, err
 	}
 	c.master.log.record("CapacityFallback", "job/"+job.ID, "%v; trying alternatives", err)
-	cands, cerr := plan.Candidates(req)
-	if cerr != nil {
-		return nil, 0, err
-	}
-	for _, cand := range cands {
+	for _, cand := range ranked {
 		if !cand.Feasible {
 			break // sorted feasible-first; nothing usable remains
 		}
@@ -325,11 +339,4 @@ func (c *Controller) Jobs() []Job {
 		out = append(out, *j)
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cynthia/internal/cloud"
@@ -22,14 +23,15 @@ import (
 // Pipeline holds the state Cynthia accumulates per workload: the one-time
 // profile and the fitted loss model.
 type Pipeline struct {
-	workload  *model.Workload
-	catalog   *cloud.Catalog
-	baseline  cloud.InstanceType
-	profile   *perf.Profile
-	lossR2    float64
-	lossFit   bool
-	profiled  bool
-	predictor perf.Predictor
+	workload    *model.Workload
+	catalog     *cloud.Catalog
+	baseline    cloud.InstanceType
+	profile     *perf.Profile
+	lossR2      float64
+	lossFit     bool
+	profiled    bool
+	predictor   perf.Predictor
+	provisioner plan.Provisioner
 }
 
 // New prepares a pipeline for the workload. catalog defaults to the CPU
@@ -49,11 +51,21 @@ func New(w *model.Workload, catalog *cloud.Catalog, baselineType string) (*Pipel
 		return nil, err
 	}
 	return &Pipeline{
-		workload:  w,
-		catalog:   catalog,
-		baseline:  base,
-		predictor: perf.Cynthia{},
+		workload:    w,
+		catalog:     catalog,
+		baseline:    base,
+		predictor:   perf.Cynthia{},
+		provisioner: plan.DefaultEngine,
 	}, nil
+}
+
+// UseProvisioner swaps the planning strategy (defaults to
+// plan.DefaultEngine); nil restores the default.
+func (p *Pipeline) UseProvisioner(prov plan.Provisioner) {
+	if prov == nil {
+		prov = plan.DefaultEngine
+	}
+	p.provisioner = prov
 }
 
 // Profile runs the 30-iteration baseline profiling (idempotent: the paper
@@ -106,11 +118,17 @@ func (p *Pipeline) FitLoss(observeIters, observeWorkers int) (model.LossParams, 
 // the goal. FitLoss is optional: without it the workload's existing loss
 // coefficients are used.
 func (p *Pipeline) Provision(goal plan.Goal) (plan.Plan, error) {
+	return p.ProvisionContext(context.Background(), goal)
+}
+
+// ProvisionContext is Provision with cancellation: the context aborts the
+// candidate search mid-scan.
+func (p *Pipeline) ProvisionContext(ctx context.Context, goal plan.Goal) (plan.Plan, error) {
 	prof, err := p.Profile()
 	if err != nil {
 		return plan.Plan{}, err
 	}
-	return plan.Provision(plan.Request{
+	return p.provisioner.Provision(ctx, plan.Request{
 		Profile:   prof,
 		Goal:      goal,
 		Predictor: p.predictor,
@@ -122,20 +140,12 @@ func (p *Pipeline) Provision(goal plan.Goal) (plan.Plan, error) {
 // loss, and cost.
 func (p *Pipeline) Validate(pl plan.Plan) (trainingSec, finalLoss, costUSD float64, err error) {
 	res, err := ddnnsim.Run(p.workload, cloud.Homogeneous(pl.Type, pl.Workers, pl.PS),
-		ddnnsim.Options{Iterations: pl.Iterations, LossEvery: maxInt(pl.Iterations/100, 1)})
+		ddnnsim.Options{Iterations: pl.Iterations, LossEvery: max(pl.Iterations/100, 1)})
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	cost := pl.Type.PricePerHour * float64(pl.Workers+pl.PS) * res.TrainingTime / 3600
-	return res.TrainingTime, res.FinalLoss, cost, nil
+	return res.TrainingTime, res.FinalLoss, plan.Cost(pl.Type, pl.Workers, pl.PS, res.TrainingTime), nil
 }
 
 // LossFitR2 reports the goodness of the last FitLoss (0 if never fitted).
 func (p *Pipeline) LossFitR2() float64 { return p.lossR2 }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

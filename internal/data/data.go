@@ -97,7 +97,7 @@ func (s *Set) Shard(w, n int) (*Set, error) {
 		return nil, fmt.Errorf("data: shard %d of %d invalid", w, n)
 	}
 	count := (s.Len() - w + n - 1) / n
-	out := &Set{X: tensor.NewDense(maxInt(count, 1), s.X.Cols), Labels: make([]int, 0, count), Classes: s.Classes}
+	out := &Set{X: tensor.NewDense(max(count, 1), s.X.Cols), Labels: make([]int, 0, count), Classes: s.Classes}
 	row := 0
 	for i := w; i < s.Len(); i += n {
 		copy(out.X.Row(row), s.X.Row(i))
@@ -150,11 +150,4 @@ func (b *Batcher) Next() (*tensor.Dense, []int) {
 	}
 	b.pos += b.batch
 	return x, labels
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -79,7 +79,7 @@ func extensionGPU(cfg Config) ([]*Table, error) {
 		if res.TrainingTime > tg*1.05 {
 			met = "NO"
 		}
-		cost := pl.Type.PricePerHour * float64(pl.Workers+pl.PS) * res.TrainingTime / 3600
+		cost := plan.Cost(pl.Type, pl.Workers, pl.PS, res.TrainingTime)
 		tb.AddRow(f1(tg), f2(goal.LossTarget),
 			fmt.Sprintf("%dwk+%dps %s", pl.Workers, pl.PS, pl.Type.Name),
 			f1(pl.PredTime), f1(res.TrainingTime), met, f3(cost))

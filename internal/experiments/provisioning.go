@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,11 +21,15 @@ func init() {
 	register("section5.3", section53)
 }
 
-// strategyResult provisions with one predictor, simulates the resulting
+// strategyResult provisions with one strategy (a plan.Provisioner; nil
+// selects the Cynthia engine) and predictor, simulates the resulting
 // cluster, and reports actual time + cost.
-func strategyResult(w *model.Workload, prof *perf.Profile, pred perf.Predictor,
-	goal plan.Goal, seed int64) (plan.Plan, float64, float64, error) {
-	pl, err := plan.Provision(plan.Request{
+func strategyResult(w *model.Workload, prof *perf.Profile, prov plan.Provisioner,
+	pred perf.Predictor, goal plan.Goal, seed int64) (plan.Plan, float64, float64, error) {
+	if prov == nil {
+		prov = plan.DefaultEngine
+	}
+	pl, err := prov.Provision(context.Background(), plan.Request{
 		Profile:   prof,
 		Goal:      goal,
 		Predictor: pred,
@@ -38,8 +43,7 @@ func strategyResult(w *model.Workload, prof *perf.Profile, pred perf.Predictor,
 	if err != nil {
 		return plan.Plan{}, 0, 0, err
 	}
-	cost := pl.Type.PricePerHour * float64(pl.Workers+pl.PS) * res.TrainingTime / 3600
-	return pl, res.TrainingTime, cost, nil
+	return pl, res.TrainingTime, plan.Cost(pl.Type, pl.Workers, pl.PS, res.TrainingTime), nil
 }
 
 // mustM4Catalog returns a catalog holding only m4.xlarge, matching the
@@ -52,7 +56,11 @@ func mustM4Catalog() *cloud.Catalog {
 	return c
 }
 
-// goalComparison renders one Cynthia-vs-Optimus provisioning comparison.
+// goalComparison renders one provisioning comparison: Cynthia (Algorithm
+// 1 + Cynthia predictor), the paper's modified Optimus (Algorithm 1 +
+// fitted Optimus predictor), and the Optimus marginal-gain allocator
+// (greedy climb + fitted Optimus predictor). The saving column compares
+// Cynthia against modified Optimus, as in the paper.
 func goalComparison(id, title string, w *model.Workload, goals []plan.Goal, seed int64) (*Table, error) {
 	m4 := mustType(cloud.M4XLarge)
 	prof := perf.SyntheticProfile(w, m4)
@@ -63,11 +71,15 @@ func goalComparison(id, title string, w *model.Workload, goals []plan.Goal, seed
 	t := &Table{ID: id, Title: title,
 		Header: []string{"goal(s)", "loss", "strategy", "plan", "actual(s)", "met", "cost($)", "saving"}}
 	for _, goal := range goals {
-		cynPlan, cynTime, cynCost, err := strategyResult(w, prof, perf.Cynthia{}, goal, seed)
+		cynPlan, cynTime, cynCost, err := strategyResult(w, prof, nil, perf.Cynthia{}, goal, seed)
 		if err != nil {
 			return nil, err
 		}
-		optPlan, optTime, optCost, err := strategyResult(w, prof, opt, goal, seed)
+		optPlan, optTime, optCost, err := strategyResult(w, prof, nil, opt, goal, seed)
+		if err != nil {
+			return nil, err
+		}
+		mgPlan, mgTime, mgCost, err := strategyResult(w, prof, baseline.MarginalGain{}, opt, goal, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -86,6 +98,7 @@ func goalComparison(id, title string, w *model.Workload, goals []plan.Goal, seed
 		}
 		t.AddRow(f1(goal.TimeSec), f2(goal.LossTarget), "Cynthia", planStr(cynPlan), f1(cynTime), met(cynTime), f3(cynCost), pct(saving))
 		t.AddRow(f1(goal.TimeSec), f2(goal.LossTarget), "Optimus", planStr(optPlan), f1(optTime), met(optTime), f3(optCost), "-")
+		t.AddRow(f1(goal.TimeSec), f2(goal.LossTarget), "Optimus-MG", planStr(mgPlan), f1(mgTime), met(mgTime), f3(mgCost), "-")
 	}
 	return t, nil
 }

@@ -259,7 +259,7 @@ func (r Residual) Params(in Shape) int64 {
 		cur, _ = l.OutShape(cur)
 	}
 	if need, out := r.projection(in); need {
-		proj := Conv2D{Filters: out.C, Kernel: 1, Stride: maxInt(1, in.H/maxInt(out.H, 1)), Same: true}
+		proj := Conv2D{Filters: out.C, Kernel: 1, Stride: max(1, in.H/max(out.H, 1)), Same: true}
 		total += proj.Params(in)
 	}
 	return total
@@ -274,7 +274,7 @@ func (r Residual) FwdFLOPsPerSample(in Shape) float64 {
 		cur, _ = l.OutShape(cur)
 	}
 	if need, out := r.projection(in); need {
-		proj := Conv2D{Filters: out.C, Kernel: 1, Stride: maxInt(1, in.H/maxInt(out.H, 1)), Same: true}
+		proj := Conv2D{Filters: out.C, Kernel: 1, Stride: max(1, in.H/max(out.H, 1)), Same: true}
 		total += proj.FwdFLOPsPerSample(in)
 	}
 	// Elementwise addition of the skip connection.
@@ -283,10 +283,3 @@ func (r Residual) FwdFLOPsPerSample(in Shape) float64 {
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -246,8 +246,8 @@ func (r *Registry) family(name, help string, kind Kind, labels []string, bounds 
 		f, ok = r.families[name]
 		if !ok {
 			f = &family{name: name, help: help, kind: kind,
-				labels: append([]string(nil), labels...),
-				bounds: append([]float64(nil), bounds...),
+				labels:  append([]string(nil), labels...),
+				bounds:  append([]float64(nil), bounds...),
 				metrics: make(map[string]any)}
 			r.families[name] = f
 			r.order = append(r.order, name)

@@ -1,109 +1,9 @@
 package plan
 
-import (
-	"fmt"
-	"math"
-	"sort"
+import "context"
 
-	"cynthia/internal/cloud"
-	"cynthia/internal/model"
-	"cynthia/internal/perf"
-)
-
-// Candidates evaluates every configuration Algorithm 1 would consider —
-// all instance types, the Theorem 4.1 worker range, and the PS
-// escalations — without the early break, returning the candidates sorted
-// by cost (feasible first). It is the inspection/what-if companion to
-// Provision: plot it, or audit why a plan was (not) chosen.
+// Candidates evaluates every configuration Algorithm 1 would consider on
+// the DefaultEngine without cancellation. See Engine.Candidates.
 func Candidates(req Request) ([]Plan, error) {
-	if req.Profile == nil {
-		return nil, fmt.Errorf("plan: nil profile")
-	}
-	if err := req.Profile.Validate(); err != nil {
-		return nil, err
-	}
-	if err := req.Goal.Validate(); err != nil {
-		return nil, err
-	}
-	pred := req.Predictor
-	if pred == nil {
-		pred = perf.Cynthia{}
-	}
-	catalog := req.Catalog
-	if catalog == nil {
-		catalog = cloud.DefaultCatalog()
-	}
-	maxEsc := req.MaxPSEscalations
-	if maxEsc == 0 {
-		maxEsc = 3
-	}
-	maxWorkers := req.MaxWorkers
-	if maxWorkers <= 0 {
-		maxWorkers = DefaultMaxWorkers
-	}
-	headroom := req.Headroom
-	if headroom == 0 {
-		headroom = DefaultHeadroom
-	}
-	if headroom < 0 {
-		headroom = 0
-	}
-	effGoal := req.Goal
-	effGoal.TimeSec *= 1 - headroom
-
-	w := req.Profile.Workload
-	var out []Plan
-	seen := map[[3]interface{}]bool{}
-	for _, t := range catalog.Types() {
-		bounds, err := ComputeBounds(req.Profile, t, effGoal)
-		if err != nil {
-			continue
-		}
-		if bounds.LowerWorkers > maxWorkers {
-			// Quota rules this type out; still expose the best-effort
-			// quota point, as Provision evaluates it.
-			nps := minInt(bounds.PS, maxWorkers)
-			if cand, err := evaluate(req.Profile, pred, w, t, maxWorkers, nps, effGoal); err == nil {
-				out = append(out, cand)
-			}
-			continue
-		}
-		for esc := 0; esc <= maxEsc; esc++ {
-			nps := bounds.PS + esc
-			upper := bounds.UpperWorkers
-			if esc > 0 {
-				upper = int(math.Ceil(bounds.Ratio * float64(nps)))
-				if w.Sync == model.BSP {
-					balance := math.Sqrt(req.Profile.WiterGFLOPs * float64(nps) * t.NetMBps /
-						(2 * req.Profile.GparamMB * t.GFLOPS))
-					upper = int(math.Ceil(math.Min(float64(upper), balance)))
-				}
-			}
-			if upper > maxWorkers {
-				upper = maxWorkers
-			}
-			for n := bounds.LowerWorkers; n <= upper; n++ {
-				if nps > n {
-					continue
-				}
-				key := [3]interface{}{t.Name, n, nps}
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				cand, err := evaluate(req.Profile, pred, w, t, n, nps, effGoal)
-				if err != nil {
-					continue
-				}
-				out = append(out, cand)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Feasible != out[j].Feasible {
-			return out[i].Feasible
-		}
-		return out[i].Cost < out[j].Cost
-	})
-	return out, nil
+	return DefaultEngine.Candidates(context.Background(), req)
 }

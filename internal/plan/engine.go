@@ -1,0 +1,277 @@
+package plan
+
+// The search engine: per-instance-type scans over the shared enumerator
+// and evaluator, run serially or in parallel, with context cancellation
+// and a deterministic reduce (results are identical at any parallelism).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cynthia/internal/cloud"
+)
+
+// Provisioner plans cost-efficient clusters for (deadline, loss) goals.
+// It is implemented by the Cynthia Engine (Algorithm 1) and by
+// baseline.MarginalGain (the Optimus-style comparator), so the controller,
+// the pipeline, and the experiments can swap strategies freely.
+type Provisioner interface {
+	// Provision returns the strategy's chosen plan for the request. When
+	// no candidate meets the goal, the best-effort (fastest predicted)
+	// plan is returned with Feasible=false.
+	Provision(ctx context.Context, req Request) (Plan, error)
+	// Candidates returns every configuration the strategy considered,
+	// ranked feasible-first then by ascending cost.
+	Candidates(ctx context.Context, req Request) ([]Plan, error)
+}
+
+// Result bundles the two products of one exhaustive search: the plan the
+// strategy selects and the full ranked candidate list. Callers that may
+// need alternatives later — the controller's capacity fallback — run one
+// Search instead of a Provision plus a re-searching Candidates.
+type Result struct {
+	Plan   Plan
+	Ranked []Plan
+}
+
+// Searcher is the optional Provisioner extension that produces the chosen
+// plan and the ranked candidates in a single pass.
+type Searcher interface {
+	Search(ctx context.Context, req Request) (Result, error)
+}
+
+// SearchWith runs one search with prov, using its native Search when
+// available and composing Candidates+Provision otherwise.
+func SearchWith(ctx context.Context, prov Provisioner, req Request) (Result, error) {
+	if s, ok := prov.(Searcher); ok {
+		return s.Search(ctx, req)
+	}
+	ranked, err := prov.Candidates(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	pl, err := prov.Provision(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Plan: pl, Ranked: ranked}, nil
+}
+
+// Engine is the Cynthia search core implementing Algorithm 1 over the
+// Theorem 4.1-bounded space. The zero value is ready to use.
+type Engine struct {
+	// Parallelism bounds how many instance types are scanned
+	// concurrently: 0 selects GOMAXPROCS, 1 forces the serial scan.
+	// Results are identical at any setting.
+	Parallelism int
+}
+
+// DefaultEngine backs the package-level Provision and Candidates.
+var DefaultEngine = &Engine{}
+
+var (
+	_ Provisioner = (*Engine)(nil)
+	_ Searcher    = (*Engine)(nil)
+)
+
+// Provision runs Algorithm 1: for each instance type, compute the bounds,
+// scan the enumerator's candidates, take the first whose predicted
+// training time meets the goal (the algorithm's early break), and return
+// the cheapest such plan across types. If no candidate meets the goal
+// anywhere, the fastest predicted plan is returned with Feasible=false.
+func (e *Engine) Provision(ctx context.Context, req Request) (Plan, error) {
+	out, err := e.search(ctx, req, false)
+	if err != nil {
+		return Plan{}, err
+	}
+	return e.selectPlan(req, out)
+}
+
+// Candidates evaluates every configuration Algorithm 1 would consider —
+// without the early break — returning the candidates ranked by Rank. It
+// is the inspection/what-if companion to Provision: plot it, or audit why
+// a plan was (not) chosen.
+func (e *Engine) Candidates(ctx context.Context, req Request) ([]Plan, error) {
+	out, err := e.search(ctx, req, true)
+	if err != nil {
+		return nil, err
+	}
+	return out.ranked, nil
+}
+
+// Search runs one exhaustive scan and returns both the Algorithm 1
+// selection and the ranked candidate list.
+func (e *Engine) Search(ctx context.Context, req Request) (Result, error) {
+	out, err := e.search(ctx, req, true)
+	if err != nil {
+		return Result{}, err
+	}
+	pl, err := e.selectPlan(req, out)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Plan: pl, Ranked: out.ranked}, nil
+}
+
+// typeResult is the outcome of scanning one instance type.
+type typeResult struct {
+	cands      []Plan // enumeration order; exhaustive scans only
+	first      Plan   // first feasible candidate in scan order (the Algorithm 1 per-type pick)
+	haveFirst  bool
+	effort     Plan // fastest-predicted infeasible candidate
+	haveEffort bool
+}
+
+// searchOut is the deterministic reduction of every per-type scan.
+type searchOut struct {
+	best       Plan
+	haveBest   bool
+	effort     Plan
+	haveEffort bool
+	ranked     []Plan
+}
+
+// scanType runs the Algorithm 1 inner loops for one instance type over
+// the shared enumerator and evaluator. When exhaustive is false the scan
+// stops at the type's first feasible candidate (Algorithm 1 line 11).
+func scanType(ctx context.Context, cfg normalized, ev *evaluator, t cloud.InstanceType, exhaustive bool) (typeResult, error) {
+	m := planObs()
+	start := time.Now()
+	defer func() { m.typeScan.With(t.Name).Observe(time.Since(start).Seconds()) }()
+
+	var res typeResult
+	bounds, err := ComputeBounds(cfg.profile, t, cfg.goal)
+	if err != nil {
+		return res, nil // unreachable loss target etc.: this type offers nothing
+	}
+	if bounds.LowerWorkers > cfg.maxWorkers {
+		// The quota alone rules this type out; still expose the quota
+		// point as a best-effort candidate.
+		cand, err := ev.evaluate(t, cfg.maxWorkers, min(bounds.PS, cfg.maxWorkers))
+		if err == nil {
+			if exhaustive {
+				res.cands = append(res.cands, cand)
+			}
+			if !cand.Feasible {
+				res.effort, res.haveEffort = cand, true
+			}
+		}
+		return res, nil
+	}
+	var scanErr error
+	enumerate(cfg, t, bounds, func(n, nps int) bool {
+		if err := ctx.Err(); err != nil {
+			scanErr = err
+			return false
+		}
+		cand, err := ev.evaluate(t, n, nps)
+		if err != nil {
+			return true
+		}
+		if exhaustive {
+			res.cands = append(res.cands, cand)
+		}
+		if cand.Feasible {
+			if !res.haveFirst {
+				res.first, res.haveFirst = cand, true
+			}
+			return exhaustive // early break ends the type's scan
+		}
+		if !res.haveEffort || cand.PredTime < res.effort.PredTime {
+			res.effort, res.haveEffort = cand, true
+		}
+		return true
+	})
+	return res, scanErr
+}
+
+// search fans the per-type scans out over the configured parallelism and
+// reduces them deterministically: per-type results land in catalog-order
+// slots, so the reduce visits them in the same order a serial scan would
+// and ties break identically.
+func (e *Engine) search(ctx context.Context, req Request, exhaustive bool) (searchOut, error) {
+	m := planObs()
+	start := time.Now()
+	defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
+
+	cfg, err := req.normalize()
+	if err != nil {
+		m.outcomes.With("error").Inc()
+		return searchOut{}, err
+	}
+	types := cfg.catalog.Types()
+	m.searchSpace.Add(int64(len(types) * cfg.maxWorkers * (cfg.maxEsc + 1)))
+
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	par = max(min(par, len(types)), 1)
+	m.parallelism.Set(float64(par))
+
+	ev := newEvaluator(cfg)
+	results := make([]typeResult, len(types))
+	errs := make([]error, len(types))
+	if par == 1 {
+		for i, t := range types {
+			results[i], errs[i] = scanType(ctx, cfg, ev, t, exhaustive)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = scanType(ctx, cfg, ev, types[i], exhaustive)
+				}
+			}()
+		}
+		for i := range types {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			m.outcomes.With("cancelled").Inc()
+			return searchOut{}, err
+		}
+	}
+
+	var out searchOut
+	for _, r := range results {
+		if r.haveFirst && (!out.haveBest || r.first.Cost < out.best.Cost) {
+			out.best, out.haveBest = r.first, true
+		}
+		if r.haveEffort && (!out.haveEffort || r.effort.PredTime < out.effort.PredTime) {
+			out.effort, out.haveEffort = r.effort, true
+		}
+		out.ranked = append(out.ranked, r.cands...)
+	}
+	if exhaustive {
+		Rank(out.ranked)
+	}
+	return out, nil
+}
+
+// selectPlan turns a reduced search into the Algorithm 1 answer.
+func (e *Engine) selectPlan(req Request, out searchOut) (Plan, error) {
+	m := planObs()
+	switch {
+	case out.haveBest:
+		m.outcomes.With("feasible").Inc()
+		return out.best, nil
+	case out.haveEffort:
+		m.outcomes.With("best_effort").Inc()
+		return out.effort, nil
+	}
+	m.outcomes.With("error").Inc()
+	return Plan{}, fmt.Errorf("plan: no provisioning candidate for %s (goal %.0fs / loss %.3f)",
+		req.Profile.Workload.Name, req.Goal.TimeSec, req.Goal.LossTarget)
+}

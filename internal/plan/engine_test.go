@@ -1,0 +1,356 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+)
+
+// engineRequests spans the shapes the engine must handle identically at
+// any parallelism: single- and multi-type catalogs, BSP and ASP
+// workloads, loose and unreachable deadlines, and a disabled escalation
+// budget.
+func engineRequests(t *testing.T) []Request {
+	t.Helper()
+	return []Request{
+		{Profile: prof(t, "cifar10 DNN"), Goal: Goal{TimeSec: 5400, LossTarget: 0.8}, Catalog: m4Only(t)},
+		{Profile: prof(t, "cifar10 DNN"), Goal: Goal{TimeSec: 3600, LossTarget: 0.6}},
+		{Profile: prof(t, "ResNet-32"), Goal: Goal{TimeSec: 5400, LossTarget: 0.6}},
+		{Profile: prof(t, "VGG-19"), Goal: Goal{TimeSec: 1800, LossTarget: 0.8}},
+		{Profile: prof(t, "mnist DNN"), Goal: Goal{TimeSec: 60, LossTarget: 0.2}, MaxWorkers: 12},
+		{Profile: prof(t, "VGG-19"), Goal: Goal{TimeSec: 300, LossTarget: 0.8}}, // too tight: best effort
+		{Profile: prof(t, "cifar10 DNN"), Goal: Goal{TimeSec: 5400, LossTarget: 0.8}, MaxPSEscalations: NoEscalation},
+	}
+}
+
+// TestEnumerateSkipsConstraint11 pins the Constraint (11) semantics: when
+// the minimum PS count exceeds the lower worker bound, worker counts
+// below nps are skipped — the scan resumes at n = nps instead of
+// abandoning the whole escalation level (the old Provision loop broke
+// out here, silently losing every legal candidate above nps).
+func TestEnumerateSkipsConstraint11(t *testing.T) {
+	cfg := normalized{maxEsc: 0, maxWorkers: 56}
+	bounds := Bounds{LowerWorkers: 2, UpperWorkers: 8, PS: 5}
+	var got [][2]int
+	enumerate(cfg, cloud.InstanceType{}, bounds, func(n, nps int) bool {
+		got = append(got, [2]int{n, nps})
+		return true
+	})
+	want := [][2]int{{5, 5}, {6, 5}, {7, 5}, {8, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("enumerate with PS(5) > LowerWorkers(2): got %v, want %v", got, want)
+	}
+}
+
+// TestEnumerateEscalationLevelsHonorConstraint11 checks the same skip
+// rule on every escalation level of a real workload: each level's worker
+// range starts at max(LowerWorkers, nps) and never dips below nps.
+func TestEnumerateEscalationLevelsHonorConstraint11(t *testing.T) {
+	req := Request{Profile: prof(t, "VGG-19"), Goal: Goal{TimeSec: 1800, LossTarget: 0.8}}
+	cfg, err := req.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4 := lookup(t, cloud.M4XLarge)
+	bounds, err := ComputeBounds(cfg.profile, m4, cfg.goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstAt := map[int]int{} // nps -> first worker count seen
+	enumerate(cfg, m4, bounds, func(n, nps int) bool {
+		if n < nps {
+			t.Fatalf("candidate (n=%d, nps=%d) violates Constraint 11", n, nps)
+		}
+		if _, ok := firstAt[nps]; !ok {
+			firstAt[nps] = n
+		}
+		return true
+	})
+	if len(firstAt) != cfg.maxEsc+1 {
+		t.Fatalf("saw %d escalation levels, want %d", len(firstAt), cfg.maxEsc+1)
+	}
+	for nps, n := range firstAt {
+		if want := max(bounds.LowerWorkers, nps); n != want {
+			t.Errorf("level nps=%d starts at n=%d, want %d", nps, n, want)
+		}
+	}
+}
+
+// scanOrder reproduces the enumerator's order from ranked candidates of
+// one type: escalation levels ascending (PS), workers ascending within.
+func scanOrder(cands []Plan) []Plan {
+	out := append([]Plan(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].PS != out[j].PS {
+			return out[i].PS < out[j].PS
+		}
+		return out[i].Workers < out[j].Workers
+	})
+	return out
+}
+
+// TestProvisionIsCheapestFirstFeasible is the property test tying the
+// two entry points together: Provision must return exactly the plan you
+// get by taking, for each instance type, the first feasible candidate in
+// scan order (Algorithm 1's early break), then the cheapest of those
+// across types in catalog order (strict comparison, so earlier types win
+// ties) — all reconstructed independently from Candidates output.
+func TestProvisionIsCheapestFirstFeasible(t *testing.T) {
+	for i, req := range engineRequests(t) {
+		ranked, err := Candidates(req)
+		if err != nil {
+			t.Fatalf("req %d: Candidates: %v", i, err)
+		}
+		pl, err := Provision(req)
+		if err != nil {
+			t.Fatalf("req %d: Provision: %v", i, err)
+		}
+		byType := map[string][]Plan{}
+		for _, c := range ranked {
+			byType[c.Type.Name] = append(byType[c.Type.Name], c)
+		}
+		nr, err := req.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Plan
+		var found bool
+		for _, it := range nr.Catalog.Types() {
+			for _, c := range scanOrder(byType[it.Name]) {
+				if c.Feasible {
+					if !found || c.Cost < want.Cost {
+						want, found = c, true
+					}
+					break // first feasible only: the early break
+				}
+			}
+		}
+		if !found {
+			if pl.Feasible {
+				t.Errorf("req %d: Provision claims feasible but Candidates has no feasible plan", i)
+			}
+			continue
+		}
+		if pl != want {
+			t.Errorf("req %d: Provision returned %+v, want first-feasible-cheapest %+v", i, pl, want)
+		}
+	}
+}
+
+// TestParallelMatchesSerial asserts the determinism contract: the
+// parallel scan returns bit-for-bit the same plan and the same ranked
+// candidate list as the serial scan, for every request shape. Run under
+// -race this also exercises the scan's synchronization.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := &Engine{Parallelism: 1}
+	parallel := &Engine{Parallelism: 8}
+	ctx := context.Background()
+	for i, req := range engineRequests(t) {
+		sp, serr := serial.Provision(ctx, req)
+		pp, perr := parallel.Provision(ctx, req)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("req %d: Provision error mismatch: serial=%v parallel=%v", i, serr, perr)
+		}
+		if sp != pp {
+			t.Errorf("req %d: Provision differs:\n  serial:   %+v\n  parallel: %+v", i, sp, pp)
+		}
+		sc, serr := serial.Candidates(ctx, req)
+		pc, perr := parallel.Candidates(ctx, req)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("req %d: Candidates error mismatch: serial=%v parallel=%v", i, serr, perr)
+		}
+		if !reflect.DeepEqual(sc, pc) {
+			t.Errorf("req %d: Candidates differ (%d vs %d plans)", i, len(sc), len(pc))
+		}
+	}
+}
+
+// TestSearchMatchesProvisionPlusCandidates checks that the single-pass
+// Search returns exactly what separate Provision and Candidates calls
+// would — the contract the controller's zero-re-search fallback relies
+// on.
+func TestSearchMatchesProvisionPlusCandidates(t *testing.T) {
+	ctx := context.Background()
+	for i, req := range engineRequests(t) {
+		res, err := DefaultEngine.Search(ctx, req)
+		if err != nil {
+			t.Fatalf("req %d: Search: %v", i, err)
+		}
+		pl, err := DefaultEngine.Provision(ctx, req)
+		if err != nil {
+			t.Fatalf("req %d: Provision: %v", i, err)
+		}
+		ranked, err := DefaultEngine.Candidates(ctx, req)
+		if err != nil {
+			t.Fatalf("req %d: Candidates: %v", i, err)
+		}
+		if res.Plan != pl {
+			t.Errorf("req %d: Search plan %+v != Provision %+v", i, res.Plan, pl)
+		}
+		if !reflect.DeepEqual(res.Ranked, ranked) {
+			t.Errorf("req %d: Search ranked list differs from Candidates", i)
+		}
+	}
+}
+
+// TestNoEscalationKeepsMinimumPS: with the escalation budget disabled,
+// every candidate must keep the Theorem 4.1 minimum PS count for its
+// type.
+func TestNoEscalationKeepsMinimumPS(t *testing.T) {
+	req := Request{
+		Profile:          prof(t, "VGG-19"),
+		Goal:             Goal{TimeSec: 1800, LossTarget: 0.8},
+		MaxPSEscalations: NoEscalation,
+	}
+	cands, err := Candidates(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	nr, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		bounds, err := ComputeBounds(nr.Profile, c.Type, nr.Goal)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Type.Name, err)
+		}
+		if c.PS != bounds.PS {
+			t.Errorf("%s n=%d: PS escalated to %d despite NoEscalation (minimum %d)",
+				c.Type.Name, c.Workers, c.PS, bounds.PS)
+		}
+	}
+}
+
+// TestNormalizeIdempotent: normalizing twice must not fold the headroom
+// reserve into the deadline a second time.
+func TestNormalizeIdempotent(t *testing.T) {
+	req := Request{Profile: prof(t, "cifar10 DNN"), Goal: Goal{TimeSec: 3600, LossTarget: 0.8}}
+	once, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := once.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.Goal.TimeSec != twice.Goal.TimeSec {
+		t.Fatalf("headroom applied twice: %.1fs then %.1fs", once.Goal.TimeSec, twice.Goal.TimeSec)
+	}
+	if want := 3600 * (1 - DefaultHeadroom); once.Goal.TimeSec != want {
+		t.Fatalf("headroom fold: got %.1fs, want %.1fs", once.Goal.TimeSec, want)
+	}
+}
+
+// TestProvisionCancelled: a cancelled context aborts both entry points.
+func TestProvisionCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := Request{Profile: prof(t, "cifar10 DNN"), Goal: Goal{TimeSec: 5400, LossTarget: 0.8}}
+	if _, err := DefaultEngine.Provision(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Errorf("Provision: got %v, want context.Canceled", err)
+	}
+	if _, err := DefaultEngine.Candidates(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Errorf("Candidates: got %v, want context.Canceled", err)
+	}
+}
+
+// wideCatalog synthesizes a many-type catalog (price/compute variants
+// of the defaults), the regime the parallel scan is built for.
+func wideCatalog(b *testing.B, copies int) *cloud.Catalog {
+	b.Helper()
+	var types []cloud.InstanceType
+	for _, it := range cloud.DefaultCatalog().Types() {
+		for i := 0; i < copies; i++ {
+			v := it
+			v.Name = fmt.Sprintf("%s-v%d", it.Name, i)
+			v.GFLOPS *= 1 + 0.03*float64(i)
+			v.PricePerHour *= 1 + 0.05*float64(i)
+			types = append(types, v)
+		}
+	}
+	cat, err := cloud.NewCatalog(types...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+// BenchmarkEngineParallelism compares the serial scan against the
+// per-type parallel scan, on the default 4-type catalog and on a wide
+// 32-type one. On a multi-core machine the parallel engine wins
+// wall-clock on the wide catalog; at 4 types the per-type work is a few
+// microseconds and goroutine overhead washes out the gain (and on a
+// single-core machine the two are equivalent by construction).
+func BenchmarkEngineParallelism(b *testing.B) {
+	w, err := model.WorkloadByName("cifar10 DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m4, err := cloud.DefaultCatalog().Lookup(cloud.M4XLarge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := perf.SyntheticProfile(w, m4)
+	catalogs := []struct {
+		name string
+		cat  *cloud.Catalog
+	}{
+		{"default", cloud.DefaultCatalog()},
+		{"32types", wideCatalog(b, 8)},
+	}
+	ctx := context.Background()
+	for _, c := range catalogs {
+		req := Request{Profile: p, Goal: Goal{TimeSec: 5400, LossTarget: 0.8}, Catalog: c.cat}
+		for _, par := range []int{1, 0} {
+			name := c.name + "/serial"
+			if par == 0 {
+				name = c.name + "/parallel"
+			}
+			e := &Engine{Parallelism: par}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Provision(ctx, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCostEq8 pins the exported cost helper to Eq. (8):
+// price * (workers + ps) * seconds / 3600.
+func TestCostEq8(t *testing.T) {
+	it := cloud.InstanceType{Name: "x", PricePerHour: 0.2}
+	if got, want := Cost(it, 9, 1, 1800), 0.2*10*0.5; got != want {
+		t.Fatalf("Cost = %.6f, want %.6f", got, want)
+	}
+}
+
+// TestEvaluateExported: external provisioners (baseline.MarginalGain)
+// depend on Evaluate agreeing with the engine's own evaluator.
+func TestEvaluateExported(t *testing.T) {
+	req := Request{Profile: prof(t, "cifar10 DNN"), Goal: Goal{TimeSec: 5400, LossTarget: 0.8}, Catalog: m4Only(t)}
+	pl, err := Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(req, pl.Type, pl.Workers, pl.PS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pl {
+		t.Fatalf("Evaluate(%d, %d) = %+v, differs from Provision's plan %+v", pl.Workers, pl.PS, got, pl)
+	}
+}

@@ -1,0 +1,119 @@
+package plan
+
+// The candidate evaluator: prices one (type, n, nps) configuration under
+// the request's predictor and goal. Eq. (8) lives here (exported as Cost)
+// and the loss-model inversion is memoized per request — the BSP iteration
+// budget does not depend on the worker count, so one IterationsToLoss
+// solve serves every candidate of a BSP search.
+
+import (
+	"sort"
+	"sync"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+// Cost implements Eq. (8): the monetary cost of running workers+ps dockers
+// of type t for the given duration in seconds, billed per second. This is
+// the one definition of the paper's objective; the planner, the controller,
+// the pipeline, and the experiment tables all price clusters through it.
+func Cost(t cloud.InstanceType, workers, ps int, seconds float64) float64 {
+	return t.PricePerHour * float64(workers+ps) * seconds / 3600
+}
+
+// Rank sorts plans in place into the canonical presentation order:
+// feasible plans first, then ascending cost within each group. The sort is
+// stable so equal-cost candidates keep their enumeration (catalog) order,
+// which keeps parallel and serial searches bit-identical.
+func Rank(plans []Plan) {
+	sort.SliceStable(plans, func(i, j int) bool {
+		if plans[i].Feasible != plans[j].Feasible {
+			return plans[i].Feasible
+		}
+		return plans[i].Cost < plans[j].Cost
+	})
+}
+
+// evaluator prices candidates for one search run. It is shared by every
+// per-type scan goroutine; the memo is the only mutable state.
+type evaluator struct {
+	cfg  normalized
+	mu   sync.Mutex
+	memo map[int]int // worker count -> iteration budget (BSP shares key 0)
+}
+
+func newEvaluator(cfg normalized) *evaluator {
+	return &evaluator{cfg: cfg, memo: make(map[int]int)}
+}
+
+// iterations returns the iteration budget reaching the loss target at n
+// workers (Eq. 15 for BSP, the ASP inversion of Eq. 1), solving the loss
+// model at most once per distinct budget.
+func (ev *evaluator) iterations(n int) (int, error) {
+	w := ev.cfg.profile.Workload
+	key := n
+	if w.Sync != model.ASP {
+		key = 0 // BSP budgets are n-independent
+	}
+	ev.mu.Lock()
+	if it, ok := ev.memo[key]; ok {
+		ev.mu.Unlock()
+		return it, nil
+	}
+	ev.mu.Unlock()
+	it, err := w.IterationsToLoss(ev.cfg.goal.LossTarget, n)
+	if err != nil {
+		return 0, err
+	}
+	ev.mu.Lock()
+	ev.memo[key] = it
+	ev.mu.Unlock()
+	return it, nil
+}
+
+// evaluate prices one candidate configuration.
+func (ev *evaluator) evaluate(t cloud.InstanceType, n, nps int) (Plan, error) {
+	m := planObs()
+	m.scanned.Inc()
+	iters, err := ev.iterations(n)
+	if err != nil {
+		return Plan{}, err
+	}
+	cluster := cloud.Homogeneous(t, n, nps)
+	titer, err := ev.cfg.pred.IterTime(ev.cfg.profile, cluster)
+	if err != nil {
+		return Plan{}, err
+	}
+	total, err := ev.cfg.pred.TrainingTime(ev.cfg.profile, cluster, iters)
+	if err != nil {
+		return Plan{}, err
+	}
+	feasible := total <= ev.cfg.goal.TimeSec
+	if feasible {
+		m.feasible.Inc()
+	}
+	return Plan{
+		Type:         t,
+		Workers:      n,
+		PS:           nps,
+		Iterations:   iters,
+		PredIterTime: titer,
+		PredTime:     total,
+		Cost:         Cost(t, n, nps, total),
+		Feasible:     feasible,
+	}, nil
+}
+
+// Evaluate prices a single explicit configuration under the request's
+// predictor and (headroom-adjusted) goal — the one-candidate entry point
+// to the engine's evaluator, for Provisioner implementations and what-if
+// tools that pick their own configurations. Normalization is idempotent,
+// so pre-Normalized requests are not defaulted twice.
+func Evaluate(req Request, t cloud.InstanceType, n, nps int) (Plan, error) {
+	cfg, err := req.normalize()
+	if err != nil {
+		return Plan{}, err
+	}
+	return newEvaluator(cfg).evaluate(t, n, nps)
+}

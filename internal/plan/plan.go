@@ -4,13 +4,27 @@
 // nodes that meet the goal at minimum monetary cost (Eq. 8-11), using
 // Theorem 4.1's bounds to keep the search space small and Algorithm 1 to
 // scan it.
+//
+// The package is layered as a search engine:
+//
+//   - Request.Normalize is the single defaulting path (predictor, catalog,
+//     quota, PS escalations, headroom — applied exactly once).
+//   - enumerate streams the (type, nps, n) configurations honoring the
+//     Theorem 4.1 bounds, the worker quota, and Constraint (11).
+//   - evaluator prices candidates (Eq. 8 via the exported Cost), memoizing
+//     the loss-model inversion per request.
+//   - Engine scans instance types in parallel with context cancellation
+//     and a deterministic reduce; it implements the Provisioner interface
+//     alongside baseline.MarginalGain.
+//
+// Provision and Candidates are thin wrappers over DefaultEngine.
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
-	"time"
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/model"
@@ -19,11 +33,14 @@ import (
 )
 
 // planMetrics instrument Algorithm 1 on the default registry: how long a
-// provisioning run takes, how many candidates the bounded search actually
-// evaluated versus the unpruned search space (the Theorem 4.1 pruning
-// effectiveness), and how runs conclude.
+// search takes (overall and per instance type), how many candidates the
+// bounded search actually evaluated versus the unpruned search space (the
+// Theorem 4.1 pruning effectiveness), how wide the parallel scan ran, and
+// how runs conclude.
 type planMetrics struct {
 	latency     *obs.Histogram
+	typeScan    *obs.HistogramVec
+	parallelism *obs.Gauge
 	scanned     *obs.Counter
 	feasible    *obs.Counter
 	searchSpace *obs.Counter
@@ -41,6 +58,10 @@ func planObs() *planMetrics {
 		metrics = planMetrics{
 			latency: reg.Histogram("cynthia_plan_latency_seconds",
 				"wall time of one Provision (Algorithm 1) run", nil),
+			typeScan: reg.HistogramVec("cynthia_plan_type_scan_seconds",
+				"wall time of one per-instance-type candidate scan", nil, "type"),
+			parallelism: reg.Gauge("cynthia_plan_parallelism",
+				"instance types scanned concurrently by the last search"),
 			scanned: reg.Counter("cynthia_plan_candidates_scanned_total",
 				"candidate configurations evaluated by the bounded search"),
 			feasible: reg.Counter("cynthia_plan_candidates_feasible_total",
@@ -231,7 +252,9 @@ type Request struct {
 	// MaxPSEscalations allows raising the PS count above the Theorem 4.1
 	// minimum when no worker count in range meets the goal (this is how
 	// a second PS gets provisioned for tight goals, as in Figs. 12-13).
-	// Defaults to 3 extra steps.
+	// Sentinels: 0 selects DefaultMaxPSEscalations; NoEscalation (any
+	// negative value) disables escalation entirely — the PS count stays
+	// at the Theorem 4.1 minimum.
 	MaxPSEscalations int
 	// MaxWorkers caps the worker count (a cluster quota). Defaults to
 	// DefaultMaxWorkers; the ASP loss model's √n term would otherwise
@@ -241,8 +264,9 @@ type Request struct {
 	// when its predicted time fits within (1-Headroom)·Tg. The
 	// analytical model is a few percent optimistic near PS saturation
 	// (transfer queueing it does not capture), so provisioning with a
-	// small reserve keeps the actual run inside the goal. Negative
-	// disables; zero selects DefaultHeadroom.
+	// small reserve keeps the actual run inside the goal. Sentinels: 0
+	// selects DefaultHeadroom; NoHeadroom (any negative value) disables
+	// the reserve.
 	Headroom float64
 }
 
@@ -252,161 +276,20 @@ const DefaultMaxWorkers = 56
 // DefaultHeadroom is the default deadline safety margin.
 const DefaultHeadroom = 0.07
 
-// Provision runs Algorithm 1: for each instance type, compute the bounds,
-// scan worker counts ascending, take the first candidate whose predicted
-// training time meets the goal (the algorithm's early break), and return
-// the cheapest such plan across types. If no candidate meets the goal
-// anywhere, the fastest predicted plan is returned with Feasible=false.
+// DefaultMaxPSEscalations is the default number of extra PS steps tried
+// above the Theorem 4.1 minimum.
+const DefaultMaxPSEscalations = 3
+
+// NoEscalation disables PS escalation when set as MaxPSEscalations (the
+// zero value means "default", so escalation needs an explicit off switch).
+const NoEscalation = -1
+
+// NoHeadroom disables the deadline reserve when set as Headroom (the zero
+// value means "default", mirroring NoEscalation).
+const NoHeadroom = -1
+
+// Provision runs Algorithm 1 on the DefaultEngine without cancellation.
+// See Engine.Provision.
 func Provision(req Request) (Plan, error) {
-	m := planObs()
-	start := time.Now()
-	defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
-	if req.Profile == nil {
-		return Plan{}, fmt.Errorf("plan: nil profile")
-	}
-	if err := req.Profile.Validate(); err != nil {
-		return Plan{}, err
-	}
-	if err := req.Goal.Validate(); err != nil {
-		return Plan{}, err
-	}
-	pred := req.Predictor
-	if pred == nil {
-		pred = perf.Cynthia{}
-	}
-	catalog := req.Catalog
-	if catalog == nil {
-		catalog = cloud.DefaultCatalog()
-	}
-	maxEsc := req.MaxPSEscalations
-	if maxEsc == 0 {
-		maxEsc = 3
-	}
-	maxWorkers := req.MaxWorkers
-	if maxWorkers <= 0 {
-		maxWorkers = DefaultMaxWorkers
-	}
-	headroom := req.Headroom
-	if headroom == 0 {
-		headroom = DefaultHeadroom
-	}
-	if headroom < 0 {
-		headroom = 0
-	}
-	effGoal := req.Goal
-	effGoal.TimeSec *= 1 - headroom
-	m.searchSpace.Add(int64(len(catalog.Types()) * maxWorkers * (maxEsc + 1)))
-
-	w := req.Profile.Workload
-	var best Plan
-	var bestEffort Plan
-	haveBest, haveEffort := false, false
-
-	for _, t := range catalog.Types() {
-		bounds, err := ComputeBounds(req.Profile, t, effGoal)
-		if err != nil {
-			continue // unreachable loss target etc.: this type offers nothing
-		}
-		if bounds.LowerWorkers > maxWorkers {
-			// The quota alone rules this type out; still record a
-			// best-effort candidate at the quota.
-			if cand, err := evaluate(req.Profile, pred, w, t, maxWorkers,
-				minInt(bounds.PS, maxWorkers), effGoal); err == nil && !cand.Feasible {
-				if !haveEffort || cand.PredTime < bestEffort.PredTime {
-					bestEffort = cand
-					haveEffort = true
-				}
-			}
-			continue
-		}
-		found := false
-		for esc := 0; esc <= maxEsc && !found; esc++ {
-			nps := bounds.PS + esc
-			upper := bounds.UpperWorkers
-			if esc > 0 {
-				// With more PS capacity the balance point moves out.
-				upper = int(math.Ceil(bounds.Ratio * float64(nps)))
-				if w.Sync == model.BSP {
-					balance := math.Sqrt(req.Profile.WiterGFLOPs * float64(nps) * t.NetMBps / (2 * req.Profile.GparamMB * t.GFLOPS))
-					upper = int(math.Ceil(math.Min(float64(upper), balance)))
-				}
-			}
-			if upper > maxWorkers {
-				upper = maxWorkers
-			}
-			for n := bounds.LowerWorkers; n <= upper; n++ {
-				if nps > n {
-					break // Constraint (11): at least as many workers as PS
-				}
-				cand, err := evaluate(req.Profile, pred, w, t, n, nps, effGoal)
-				if err != nil {
-					continue
-				}
-				if cand.Feasible {
-					if !haveBest || cand.Cost < best.Cost {
-						best = cand
-						haveBest = true
-					}
-					found = true // Algorithm 1 line 11: break at first feasible n
-					break
-				}
-				if !haveEffort || cand.PredTime < bestEffort.PredTime {
-					bestEffort = cand
-					haveEffort = true
-				}
-			}
-		}
-	}
-	if haveBest {
-		m.outcomes.With("feasible").Inc()
-		return best, nil
-	}
-	if haveEffort {
-		m.outcomes.With("best_effort").Inc()
-		return bestEffort, nil
-	}
-	m.outcomes.With("error").Inc()
-	return Plan{}, fmt.Errorf("plan: no provisioning candidate for %s (goal %.0fs / loss %.3f)",
-		w.Name, req.Goal.TimeSec, req.Goal.LossTarget)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// evaluate prices one candidate configuration.
-func evaluate(p *perf.Profile, pred perf.Predictor, w *model.Workload, t cloud.InstanceType, n, nps int, goal Goal) (Plan, error) {
-	m := planObs()
-	m.scanned.Inc()
-	iters, err := w.IterationsToLoss(goal.LossTarget, n)
-	if err != nil {
-		return Plan{}, err
-	}
-	cluster := cloud.Homogeneous(t, n, nps)
-	titer, err := pred.IterTime(p, cluster)
-	if err != nil {
-		return Plan{}, err
-	}
-	total, err := pred.TrainingTime(p, cluster, iters)
-	if err != nil {
-		return Plan{}, err
-	}
-	cost := (t.PricePerHour*float64(n) + t.PricePerHour*float64(nps)) * total / 3600 // Eq. (8)
-	feasible := total <= goal.TimeSec
-	if feasible {
-		m.feasible.Inc()
-	}
-	return Plan{
-		Type:         t,
-		Workers:      n,
-		PS:           nps,
-		Iterations:   iters,
-		PredIterTime: titer,
-		PredTime:     total,
-		Cost:         cost,
-		Feasible:     feasible,
-	}, nil
+	return DefaultEngine.Provision(context.Background(), req)
 }

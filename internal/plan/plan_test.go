@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"cynthia/internal/baseline"
 	"cynthia/internal/cloud"
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
@@ -225,35 +224,6 @@ func TestFigure13VGGDeadlines(t *testing.T) {
 		if res.FinalLoss > 0.8*1.1 {
 			t.Errorf("goal %.0fs: final loss %.3f above target", tg, res.FinalLoss)
 		}
-	}
-}
-
-// Modified Optimus (the paper's comparator): same algorithm, Optimus
-// predictor. For overlapped BSP it over-estimates iteration time and thus
-// over-provisions, costing more than Cynthia.
-func TestOptimusOverProvisionsBSP(t *testing.T) {
-	w, _ := model.WorkloadByName("cifar10 DNN")
-	m4 := lookup(t, cloud.M4XLarge)
-	p := perf.SyntheticProfile(w, m4)
-	opt, err := baseline.FitFromSimulator(w, m4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cat := m4Only(t)
-	goal := Goal{TimeSec: 5400, LossTarget: 0.8}
-	cyn, err := Provision(Request{Profile: p, Goal: goal, Catalog: cat})
-	if err != nil {
-		t.Fatal(err)
-	}
-	om, err := Provision(Request{Profile: p, Goal: goal, Catalog: cat, Predictor: opt})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if om.Workers < cyn.Workers {
-		t.Errorf("Optimus workers %d < Cynthia %d; expected over-provisioning", om.Workers, cyn.Workers)
-	}
-	if cyn.Cost > om.Cost {
-		t.Errorf("Cynthia cost $%.3f should not exceed Optimus $%.3f", cyn.Cost, om.Cost)
 	}
 }
 

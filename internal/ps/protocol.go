@@ -101,17 +101,10 @@ func decodeHello(payload []byte) (workerID, shardLen int, err error) {
 func ShardRange(numParams, k, nShards int) (lo, hi int) {
 	base := numParams / nShards
 	extra := numParams % nShards
-	lo = k*base + minInt(k, extra)
+	lo = k*base + min(k, extra)
 	size := base
 	if k < extra {
 		size++
 	}
 	return lo, lo + size
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -60,7 +60,7 @@ func Run(points []Point, parallelism int) []Outcome {
 				res, err := ddnnsim.Run(p.Workload, p.Cluster, ddnnsim.Options{
 					Iterations: p.Iterations,
 					Seed:       p.Seed,
-					LossEvery:  maxInt(p.Iterations, 1),
+					LossEvery:  max(p.Iterations, 1),
 				})
 				out[i] = Outcome{Point: p, Result: res, Err: err}
 			}
@@ -118,11 +118,4 @@ func Best(outcomes []Outcome) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("sweep: no successful outcomes among %d", len(outcomes))
 	}
 	return best, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -59,7 +59,7 @@ func (m *Dense) Zero() {
 
 // Randomize fills the matrix with He-style initialization: N(0, √(2/fanIn)).
 func (m *Dense) Randomize(rng *rand.Rand, fanIn int) {
-	std := math.Sqrt(2 / float64(maxInt(fanIn, 1)))
+	std := math.Sqrt(2 / float64(max(fanIn, 1)))
 	for i := range m.Data {
 		m.Data[i] = rng.NormFloat64() * std
 	}
@@ -94,7 +94,7 @@ func MatMul(dst, a, b *Dense) {
 func matMulBand(dst, a, b *Dense, lo, hi int) {
 	n, k := b.Cols, a.Cols
 	for k0 := 0; k0 < k; k0 += blockSize {
-		k1 := minInt(k0+blockSize, k)
+		k1 := min(k0+blockSize, k)
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			drow := dst.Row(i)
@@ -178,7 +178,7 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
 	band := (rows + workers - 1) / workers
 	for lo := 0; lo < rows; lo += band {
-		hi := minInt(lo+band, rows)
+		hi := min(lo+band, rows)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
@@ -293,18 +293,4 @@ func MulElem(dst, src *Dense) {
 	for i, v := range src.Data {
 		dst.Data[i] *= v
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-obs check
+.PHONY: all build vet test race stress bench bench-obs check
 
 all: check
 
@@ -11,12 +11,18 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -timeout 10m ./...
 
 # race runs the full suite under the race detector; internal/obs in
 # particular exercises its registry and tracer from many goroutines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -timeout 15m ./...
+
+# stress repeats the packages with real concurrency (TCP parameter
+# servers, the recovery state machine) to shake out timing-dependent
+# flakes before they reach CI.
+stress:
+	$(GO) test -race -count=3 -shuffle=on -timeout 15m ./internal/ps ./internal/cluster
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

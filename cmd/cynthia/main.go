@@ -16,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cynthia/internal/baseline"
 	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
 	"cynthia/internal/perf"
@@ -40,13 +42,84 @@ func main() {
 		planTimeout  = flag.Duration("plan-timeout", 0, "abort the candidate search after this long (0 = no limit)")
 		validate     = flag.Bool("validate", false, "simulate the plan and report the actual training time")
 		list         = flag.Bool("list", false, "list available workloads and instance types")
+		faultRate    = flag.Float64("fault-rate", 0, "probability that an instance is spot-preempted during the run (enables the controller pipeline)")
+		preemptAt    = flag.Float64("preempt-at", 0, "preempt one instance at this simulated second (enables the controller pipeline)")
+		seed         = flag.Int64("seed", 0, "fault-injection and simulation seed")
+		noRecovery   = flag.Bool("no-recovery", false, "fail the job on the first preemption instead of recovering")
 	)
 	flag.Parse()
+	if *faultRate > 0 || *preemptAt > 0 {
+		fi := faultInjection{Rate: *faultRate, PreemptAt: *preemptAt, Seed: *seed, NoRecovery: *noRecovery}
+		if err := runControlled(*workloadName, *workloadFile, *deadline, *lossTarget, fi); err != nil {
+			fmt.Fprintln(os.Stderr, "cynthia:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*workloadName, *workloadFile, *deadline, *lossTarget, *baseName, *predictor,
 		*provisioner, *parallel, *planTimeout, *validate, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "cynthia:", err)
 		os.Exit(1)
 	}
+}
+
+// faultInjection bundles the fault-mode flags.
+type faultInjection struct {
+	Rate       float64
+	PreemptAt  float64
+	Seed       int64
+	NoRecovery bool
+}
+
+// runControlled drives the full controller pipeline — master, simulated
+// provider with fault injection, recovery state machine — instead of the
+// plan-only path, and reports how the job fared under failures.
+func runControlled(workloadName, workloadFile string, deadline, lossTarget float64, fi faultInjection) error {
+	w, err := loadWorkload(workloadName, workloadFile)
+	if err != nil {
+		return err
+	}
+	master, err := cluster.NewMaster()
+	if err != nil {
+		return err
+	}
+	// The provider runs on a manually advanced clock tied to simulated
+	// time, so -preempt-at means simulated seconds into the run.
+	now := new(float64)
+	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
+	provider.SetFaultPlan(cloud.FaultPlan{
+		Seed:          fi.Seed,
+		PreemptRate:   fi.Rate,
+		PreemptMinSec: 0,
+		PreemptMaxSec: deadline,
+		PreemptAtSec:  fi.PreemptAt,
+	})
+	ctl := cluster.NewController(master, provider, nil, "")
+	ctl.AdvanceClock = func(dt float64) { *now += dt }
+	ctl.SimSeed = fi.Seed
+	ctl.Recovery.Disabled = fi.NoRecovery
+
+	fmt.Printf("submitting %s (deadline %.0fs, loss %.2f) with fault injection: rate %.2f, preempt-at %.0fs, seed %d\n",
+		w.Name, deadline, lossTarget, fi.Rate, fi.PreemptAt, fi.Seed)
+	job, err := ctl.Submit(w, plan.Goal{TimeSec: deadline, LossTarget: lossTarget})
+	if job == nil {
+		return err
+	}
+	fmt.Printf("job %s: %s\n", job.ID, job.Status)
+	fmt.Printf("  plan:        %s\n", job.Plan)
+	hist := make([]string, len(job.History))
+	for i, s := range job.History {
+		hist[i] = string(s)
+	}
+	fmt.Printf("  lifecycle:   %s\n", strings.Join(hist, " -> "))
+	fmt.Printf("  time:        %.0fs of %.0fs budget (%.0f%% used)\n",
+		job.TrainingTime, deadline, 100*job.TrainingTime/deadline)
+	fmt.Printf("  cost:        $%.3f (plan predicted $%.3f)\n", job.Cost, job.Plan.Cost)
+	fmt.Printf("  recoveries:  %d (%d iterations of lost work redone)\n", job.Recoveries, job.LostIterations)
+	if job.Err != "" {
+		fmt.Printf("  error:       %s\n", job.Err)
+	}
+	return nil
 }
 
 func loadWorkload(name, file string) (*model.Workload, error) {

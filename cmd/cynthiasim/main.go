@@ -30,15 +30,20 @@ func main() {
 		trace        = flag.Bool("trace", false, "print the PS NIC throughput series")
 		records      = flag.Bool("records", false, "print per-iteration records as CSV")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (open in chrome://tracing or Perfetto)")
+		faultAt      = flag.Float64("fault-at", 0, "kill one docker at this simulated second (0 = no fault)")
+		faultRole    = flag.String("fault-role", "worker", "role of the docker killed by -fault-at: worker or ps")
+		checkpoint   = flag.Int("checkpoint-every", 0, "checkpoint cadence in iterations (0 = no checkpointing)")
 	)
 	flag.Parse()
-	if err := run(*workloadName, *workers, *ps, *typeName, *stragglers, *iterations, *seed, *trace, *records, *traceOut); err != nil {
+	if err := run(*workloadName, *workers, *ps, *typeName, *stragglers, *iterations, *seed, *trace, *records, *traceOut,
+		*faultAt, *faultRole, *checkpoint); err != nil {
 		fmt.Fprintln(os.Stderr, "cynthiasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName string, workers, ps int, typeName string, stragglers bool, iterations int, seed int64, trace, records bool, traceOut string) error {
+func run(workloadName string, workers, ps int, typeName string, stragglers bool, iterations int, seed int64, trace, records bool, traceOut string,
+	faultAt float64, faultRole string, checkpoint int) error {
 	w, err := model.WorkloadByName(workloadName)
 	if err != nil {
 		return err
@@ -56,7 +61,16 @@ func run(workloadName string, workers, ps int, typeName string, stragglers bool,
 		}
 		spec = ddnnsim.Heterogeneous(it, m1, workers, ps)
 	}
-	opt := ddnnsim.Options{Iterations: iterations, Seed: seed, LossEvery: 1, RecordIterations: records}
+	opt := ddnnsim.Options{
+		Iterations: iterations, Seed: seed, LossEvery: 1, RecordIterations: records,
+		CheckpointEvery: checkpoint,
+	}
+	if faultAt > 0 {
+		if faultRole != "worker" && faultRole != "ps" {
+			return fmt.Errorf("unknown -fault-role %q (want worker or ps)", faultRole)
+		}
+		opt.Faults = []ddnnsim.Fault{{AtSec: faultAt, Role: faultRole}}
+	}
 	if trace {
 		opt.TraceBin = 1
 	}
@@ -88,6 +102,10 @@ func run(workloadName string, workers, ps int, typeName string, stragglers bool,
 		fmt.Printf(" (with %d m1.xlarge stragglers)", workers/2)
 	}
 	fmt.Println()
+	if res.Interrupted {
+		fmt.Printf("  INTERRUPTED:       %s[%d] died at %.1f s after %d iterations (%d checkpointed, %d lost)\n",
+			res.Fault.Role, res.Fault.Index, res.TrainingTime, res.Iterations, res.CheckpointIter, res.LostIterations)
+	}
 	fmt.Printf("  training time:     %.1f s (%d iterations, %.3f s/iter)\n",
 		res.TrainingTime, res.Iterations, res.MeanIterTime)
 	fmt.Printf("  computation time:  %.1f s   communication time: %.1f s\n", res.ComputeTime, res.CommTime)

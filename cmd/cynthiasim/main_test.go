@@ -8,26 +8,35 @@ import (
 )
 
 func TestRunBasic(t *testing.T) {
-	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 100, 1, false, true, ""); err != nil {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 100, 1, false, true, "", 0, "worker", 0); err != nil {
 		t.Fatalf("basic run failed: %v", err)
 	}
 }
 
 func TestRunWithStragglersAndTrace(t *testing.T) {
-	if err := run("mnist DNN", 4, 1, "m4.xlarge", true, 100, 1, true, false, ""); err != nil {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", true, 100, 1, true, false, "", 0, "worker", 0); err != nil {
 		t.Fatalf("straggler+trace run failed: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("NoSuchNet", 4, 1, "m4.xlarge", false, 10, 1, false, false, ""); err == nil {
+	if err := run("NoSuchNet", 4, 1, "m4.xlarge", false, 10, 1, false, false, "", 0, "worker", 0); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("mnist DNN", 4, 1, "z9.huge", false, 10, 1, false, false, ""); err == nil {
+	if err := run("mnist DNN", 4, 1, "z9.huge", false, 10, 1, false, false, "", 0, "worker", 0); err == nil {
 		t.Error("unknown type accepted")
 	}
-	if err := run("mnist DNN", 0, 1, "m4.xlarge", false, 10, 1, false, false, ""); err == nil {
+	if err := run("mnist DNN", 0, 1, "m4.xlarge", false, 10, 1, false, false, "", 0, "worker", 0); err == nil {
 		t.Error("zero workers accepted")
+	}
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 10, 1, false, false, "", 5, "scheduler", 0); err == nil {
+		t.Error("unknown fault role accepted")
+	}
+}
+
+func TestRunWithFault(t *testing.T) {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 100, 1, false, false, "", 10, "worker", 20); err != nil {
+		t.Fatalf("faulted run failed: %v", err)
 	}
 }
 
@@ -37,7 +46,7 @@ func TestRunErrors(t *testing.T) {
 // be covered by spans.
 func TestRunTraceOut(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
-	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 20, 1, false, false, path); err != nil {
+	if err := run("mnist DNN", 4, 1, "m4.xlarge", false, 20, 1, false, false, path, 0, "worker", 0); err != nil {
 		t.Fatalf("trace-out run failed: %v", err)
 	}
 	raw, err := os.ReadFile(path)

@@ -1,0 +1,298 @@
+package cloud
+
+// Fault injection for the simulated IaaS control plane. Real clouds are
+// not the failure-free abstraction the rest of the stack would like:
+// launch calls bounce with transient "insufficient capacity right now"
+// errors, instances come up late, and spot-market instances are revoked
+// mid-run ("Characterizing and Modeling Distributed Training with
+// Transient Cloud GPU Servers" measures revocations dominating deadline
+// and cost outcomes). A FaultPlan makes the Provider reproduce those
+// behaviours deterministically from a seed, so the cluster controller's
+// recovery path can be driven — and regression-tested — without a real
+// cloud account.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cynthia/internal/obs"
+)
+
+// ErrTransient is returned by Launch for injected transient control-plane
+// failures. Unlike ErrCapacity (a standing per-type limit), a transient
+// error is expected to clear on retry; callers should back off and retry
+// rather than fall back to another instance type.
+var ErrTransient = errors.New("cloud: transient launch failure")
+
+// FaultPlan configures deterministic fault injection. All randomness
+// derives from Seed: the same plan driven by the same call sequence
+// produces the same transient errors, delays, and preemptions.
+type FaultPlan struct {
+	// Seed drives every random draw of the plan.
+	Seed int64
+	// TransientRate is the probability in [0,1) that a Launch call fails
+	// with ErrTransient before touching capacity accounting.
+	TransientRate float64
+	// MaxConsecutiveTransient caps back-to-back injected transient
+	// failures so retrying callers always make progress (default 2).
+	MaxConsecutiveTransient int
+	// LaunchDelayMaxSec, when > 0, delays instance readiness by a uniform
+	// draw from [0, LaunchDelayMaxSec): the instance exists (and bills)
+	// at launch but its ReadyAt lands later, modeling slow provisioning.
+	LaunchDelayMaxSec float64
+	// PreemptRate is the probability that a launched instance is
+	// spot-revoked at some point of its life.
+	PreemptRate float64
+	// PreemptMinSec and PreemptMaxSec bracket the uniform draw of the
+	// revocation instant, in provider-clock seconds after launch.
+	PreemptMinSec float64
+	PreemptMaxSec float64
+	// PreemptAtSec, when > 0, schedules one targeted preemption: the
+	// PreemptNth instance (0-based, counted from the plan's
+	// installation) is revoked at absolute provider-clock second
+	// PreemptAtSec. This is the hook behind the -preempt-at CLI flag and
+	// the deterministic end-to-end recovery tests.
+	PreemptAtSec float64
+	PreemptNth   int
+}
+
+// faultState is the live injector behind a FaultPlan. Guarded by the
+// provider mutex.
+type faultState struct {
+	plan      FaultPlan
+	rng       *rand.Rand
+	consec    int                // consecutive transient failures injected
+	launched  int                // instances launched since installation
+	preemptAt map[string]float64 // instance ID -> scheduled revocation time
+}
+
+func (f *faultState) maxConsec() int {
+	if f.plan.MaxConsecutiveTransient > 0 {
+		return f.plan.MaxConsecutiveTransient
+	}
+	return 2
+}
+
+// onLaunch decides the fate of one Launch call: an injected transient
+// error, or success with a readiness delay in seconds.
+func (f *faultState) onLaunch() (delay float64, err error) {
+	if f.plan.TransientRate > 0 && f.consec < f.maxConsec() && f.rng.Float64() < f.plan.TransientRate {
+		f.consec++
+		return 0, fmt.Errorf("%w (injected, %d consecutive)", ErrTransient, f.consec)
+	}
+	f.consec = 0
+	if f.plan.LaunchDelayMaxSec > 0 {
+		delay = f.rng.Float64() * f.plan.LaunchDelayMaxSec
+	}
+	return delay, nil
+}
+
+// onInstance decides whether a freshly launched instance will be
+// preempted, returning the absolute revocation time.
+func (f *faultState) onInstance(now float64) (at float64, ok bool) {
+	ord := f.launched
+	f.launched++
+	if f.plan.PreemptAtSec > 0 && ord == f.plan.PreemptNth {
+		return f.plan.PreemptAtSec, true
+	}
+	if f.plan.PreemptRate > 0 && f.rng.Float64() < f.plan.PreemptRate {
+		lo, hi := f.plan.PreemptMinSec, f.plan.PreemptMaxSec
+		if hi < lo {
+			hi = lo
+		}
+		d := lo
+		if hi > lo {
+			d = lo + f.rng.Float64()*(hi-lo)
+		}
+		return now + d, true
+	}
+	return 0, false
+}
+
+// SetFaultPlan installs (or, with a zero plan, removes) fault injection.
+// Instances already running keep any revocation already scheduled.
+func (p *Provider) SetFaultPlan(fp FaultPlan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fp == (FaultPlan{}) {
+		p.fault = nil
+		return
+	}
+	prior := map[string]float64{}
+	if p.fault != nil {
+		prior = p.fault.preemptAt
+	}
+	p.fault = &faultState{
+		plan:      fp,
+		rng:       rand.New(rand.NewSource(fp.Seed)),
+		preemptAt: prior,
+	}
+}
+
+// EventType labels instance lifecycle events on a Watch channel.
+type EventType string
+
+// Instance lifecycle event types.
+const (
+	EventLaunched   EventType = "launched"
+	EventPreempted  EventType = "preempted"
+	EventTerminated EventType = "terminated"
+)
+
+// InstanceEvent is one lifecycle occurrence: an instance snapshot, what
+// happened to it, and when on the provider clock.
+type InstanceEvent struct {
+	Type     EventType
+	Instance Instance
+	At       float64
+}
+
+// Watch subscribes to instance lifecycle events. Events are delivered on
+// a channel with the given buffer (minimum 1); a slow consumer loses
+// events rather than blocking the control plane. The returned cancel
+// function unsubscribes and closes the channel.
+func (p *Provider) Watch(buffer int) (<-chan InstanceEvent, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan InstanceEvent, buffer)
+	p.mu.Lock()
+	if p.watchers == nil {
+		p.watchers = make(map[int]chan InstanceEvent)
+	}
+	p.nextWatch++
+	id := p.nextWatch
+	p.watchers[id] = ch
+	p.mu.Unlock()
+	cancel := func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if c, ok := p.watchers[id]; ok {
+			delete(p.watchers, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// emitLocked fans an event out to every watcher without blocking. Callers
+// hold p.mu.
+func (p *Provider) emitLocked(typ EventType, inst *Instance, at float64) {
+	if len(p.watchers) == 0 {
+		return
+	}
+	ev := InstanceEvent{Type: typ, Instance: snapshot(inst), At: at}
+	for _, ch := range p.watchers {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop rather than wedge the provider
+		}
+	}
+}
+
+// failLocked moves a running instance to StateFailed (spot revocation).
+// Callers hold p.mu.
+func (p *Provider) failLocked(inst *Instance, now float64) {
+	if inst.State != StateRunning {
+		return
+	}
+	inst.State = StateFailed
+	inst.TerminatedAt = now
+	p.running[inst.Type.Name]--
+	if p.fault != nil {
+		delete(p.fault.preemptAt, inst.ID)
+	}
+	provObs().preempted.Inc()
+	obs.Debugf("cloud: preempted %s (%s) at %.1fs", inst.ID, inst.Type.Name, now)
+	p.emitLocked(EventPreempted, inst, now)
+}
+
+// applyDueLocked fires every scheduled revocation whose time has come,
+// in instance-ID order for determinism. Callers hold p.mu.
+func (p *Provider) applyDueLocked(now float64) {
+	if p.fault == nil || len(p.fault.preemptAt) == 0 {
+		return
+	}
+	var due []string
+	for id, at := range p.fault.preemptAt {
+		if at <= now {
+			due = append(due, id)
+		}
+	}
+	sort.Strings(due)
+	for _, id := range due {
+		if inst, ok := p.instances[id]; ok {
+			p.failLocked(inst, now)
+		} else {
+			delete(p.fault.preemptAt, id)
+		}
+	}
+}
+
+// ApplyDueFaults fires every revocation scheduled at or before the
+// current provider-clock time and returns snapshots of all failed
+// instances (newly failed and prior), sorted by ID.
+func (p *Provider) ApplyDueFaults() []Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applyDueLocked(p.clock())
+	var out []Instance
+	for _, inst := range p.instances {
+		if inst.State == StateFailed {
+			out = append(out, snapshot(inst))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Preempt revokes a running instance immediately, as a spot reclaim
+// would. Preempting an already failed or terminated instance is a no-op.
+func (p *Provider) Preempt(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok {
+		return fmt.Errorf("cloud: no such instance %q", id)
+	}
+	p.failLocked(inst, p.clock())
+	return nil
+}
+
+// NextPreemption reports the earliest scheduled revocation among running
+// instances whose tags include every entry of filter. It is the
+// simulation's world oracle: the training simulator needs to know when
+// to kill a docker, which a real cloud would communicate as a preemption
+// notice (EC2's two-minute spot warning) instead.
+func (p *Provider) NextPreemption(filter map[string]string) (id string, at float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applyDueLocked(p.clock())
+	if p.fault == nil {
+		return "", 0, false
+	}
+	best := math.Inf(1)
+	for iid, t := range p.fault.preemptAt {
+		inst, live := p.instances[iid]
+		if !live || inst.State != StateRunning || !matchTags(inst.Tags, filter) {
+			continue
+		}
+		if t < best || (t == best && iid < id) {
+			best, id = t, iid
+		}
+	}
+	if id == "" {
+		return "", 0, false
+	}
+	return id, best, true
+}
+
+// Now returns the current provider-clock time in seconds.
+func (p *Provider) Now() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock()
+}

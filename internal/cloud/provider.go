@@ -13,9 +13,12 @@ import (
 // providerMetrics count instance lifecycle activity on the default
 // registry, shared across all Provider values in the process.
 type providerMetrics struct {
-	launched   *obs.CounterVec
-	terminated *obs.Counter
-	capacity   *obs.Counter
+	launched    *obs.CounterVec
+	terminated  *obs.Counter
+	capacity    *obs.Counter
+	transient   *obs.Counter
+	preempted   *obs.Counter
+	launchDelay *obs.Histogram
 }
 
 var (
@@ -33,6 +36,12 @@ func provObs() *providerMetrics {
 				"instances terminated"),
 			capacity: reg.Counter("cynthia_cloud_capacity_errors_total",
 				"launch requests denied by capacity limits"),
+			transient: reg.Counter("cynthia_cloud_transient_errors_total",
+				"launch requests failed by injected transient errors"),
+			preempted: reg.Counter("cynthia_cloud_preemptions_total",
+				"instances revoked by spot-style preemption"),
+			launchDelay: reg.Histogram("cynthia_cloud_launch_delay_seconds",
+				"injected provisioning delay between launch and instance readiness", nil),
 		}
 	})
 	return &prov
@@ -41,11 +50,14 @@ func provObs() *providerMetrics {
 // InstanceState is the lifecycle state of a simulated instance.
 type InstanceState int
 
-// Instance lifecycle states, mirroring the EC2 state machine.
+// Instance lifecycle states, mirroring the EC2 state machine. StateFailed
+// is a spot-style revocation: the provider reclaimed the instance; unlike
+// StateTerminated the owner never asked for it.
 const (
 	StatePending InstanceState = iota
 	StateRunning
 	StateTerminated
+	StateFailed
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +69,8 @@ func (s InstanceState) String() string {
 		return "running"
 	case StateTerminated:
 		return "terminated"
+	case StateFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("InstanceState(%d)", int(s))
 	}
@@ -73,10 +87,13 @@ type Instance struct {
 	// State is the current lifecycle state.
 	State InstanceState
 	// LaunchedAt and TerminatedAt are provider-clock timestamps in
-	// seconds. TerminatedAt is meaningful only once State is
-	// StateTerminated.
+	// seconds. TerminatedAt is meaningful once State is StateTerminated
+	// or StateFailed (the revocation instant).
 	LaunchedAt   float64
 	TerminatedAt float64
+	// ReadyAt is when the instance becomes usable: LaunchedAt plus any
+	// injected provisioning delay (see FaultPlan.LaunchDelayMaxSec).
+	ReadyAt float64
 }
 
 // Clock supplies the provider's notion of time in seconds. Simulations pass
@@ -103,6 +120,9 @@ type Provider struct {
 	nextID    int
 	limits    map[string]int // optional per-type capacity limits
 	running   map[string]int // running count per type
+	fault     *faultState    // optional fault injection (see faults.go)
+	watchers  map[int]chan InstanceEvent
+	nextWatch int
 }
 
 // NewProvider returns a provider over the given catalog using the given
@@ -145,6 +165,17 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	now := p.clock()
+	p.applyDueLocked(now)
+	delay := 0.0
+	if p.fault != nil {
+		var ferr error
+		if delay, ferr = p.fault.onLaunch(); ferr != nil {
+			provObs().transient.Inc()
+			obs.Debugf("cloud: transient launch error for %d x %s: %v", count, typeName, ferr)
+			return nil, ferr
+		}
+	}
 	if limit, ok := p.limits[typeName]; ok && p.running[typeName]+count > limit {
 		provObs().capacity.Inc()
 		obs.Debugf("cloud: capacity denied: %d %s requested, %d running, limit %d",
@@ -152,7 +183,9 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 		return nil, fmt.Errorf("%w: %d running + %d requested > limit %d for %s",
 			ErrCapacity, p.running[typeName], count, limit, typeName)
 	}
-	now := p.clock()
+	if delay > 0 {
+		provObs().launchDelay.Observe(delay)
+	}
 	out := make([]*Instance, 0, count)
 	for i := 0; i < count; i++ {
 		p.nextID++
@@ -162,8 +195,15 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 			Tags:       copyTags(tags),
 			State:      StateRunning,
 			LaunchedAt: now,
+			ReadyAt:    now + delay,
 		}
 		p.instances[inst.ID] = inst
+		if p.fault != nil {
+			if at, ok := p.fault.onInstance(now); ok {
+				p.fault.preemptAt[inst.ID] = at
+			}
+		}
+		p.emitLocked(EventLaunched, inst, now)
 		out = append(out, inst)
 	}
 	p.running[typeName] += count
@@ -173,7 +213,7 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 }
 
 // Terminate stops the instance with the given ID. Terminating an already
-// terminated instance is a no-op, as with EC2.
+// terminated — or already preempted — instance is a no-op, as with EC2.
 func (p *Provider) Terminate(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -181,14 +221,19 @@ func (p *Provider) Terminate(id string) error {
 	if !ok {
 		return fmt.Errorf("cloud: no such instance %q", id)
 	}
-	if inst.State == StateTerminated {
+	if inst.State != StateRunning && inst.State != StatePending {
 		return nil
 	}
+	now := p.clock()
 	inst.State = StateTerminated
-	inst.TerminatedAt = p.clock()
+	inst.TerminatedAt = now
 	p.running[inst.Type.Name]--
+	if p.fault != nil {
+		delete(p.fault.preemptAt, id)
+	}
 	provObs().terminated.Inc()
 	obs.Debugf("cloud: terminated %s (%s)", id, inst.Type.Name)
+	p.emitLocked(EventTerminated, inst, now)
 	return nil
 }
 
@@ -198,7 +243,7 @@ func (p *Provider) TerminateAll() int {
 	p.mu.Lock()
 	ids := make([]string, 0, len(p.instances))
 	for id, inst := range p.instances {
-		if inst.State != StateTerminated {
+		if inst.State == StateRunning || inst.State == StatePending {
 			ids = append(ids, id)
 		}
 	}
@@ -213,6 +258,7 @@ func (p *Provider) TerminateAll() int {
 func (p *Provider) Describe(id string) (Instance, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.applyDueLocked(p.clock())
 	inst, ok := p.instances[id]
 	if !ok {
 		return Instance{}, fmt.Errorf("cloud: no such instance %q", id)
@@ -225,6 +271,7 @@ func (p *Provider) Describe(id string) (Instance, error) {
 func (p *Provider) List(filter map[string]string) []Instance {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.applyDueLocked(p.clock())
 	var out []Instance
 	for _, inst := range p.instances {
 		if matchTags(inst.Tags, filter) {
@@ -240,6 +287,7 @@ func (p *Provider) List(filter map[string]string) []Instance {
 func (p *Provider) RunningCount(typeName string) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.applyDueLocked(p.clock())
 	if typeName != "" {
 		return p.running[typeName]
 	}
@@ -257,10 +305,11 @@ func (p *Provider) Bill() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.clock()
+	p.applyDueLocked(now)
 	total := 0.0
 	for _, inst := range p.instances {
 		end := now
-		if inst.State == StateTerminated {
+		if inst.State == StateTerminated || inst.State == StateFailed {
 			end = inst.TerminatedAt
 		}
 		dur := end - inst.LaunchedAt

@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"cynthia/internal/cloud"
-	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
 	"cynthia/internal/obs"
 	"cynthia/internal/perf"
@@ -52,6 +52,7 @@ const (
 	StatusPlanning     JobStatus = "planning"
 	StatusProvisioning JobStatus = "provisioning"
 	StatusRunning      JobStatus = "running"
+	StatusRecovering   JobStatus = "recovering"
 	StatusSucceeded    JobStatus = "succeeded"
 	StatusMissedGoal   JobStatus = "missed-goal"
 	StatusFailed       JobStatus = "failed"
@@ -63,6 +64,10 @@ type Job struct {
 	Workload *model.Workload
 	Goal     plan.Goal
 	Status   JobStatus
+	// History is every lifecycle state the job passed through, in order
+	// (a recovered job reads planning, provisioning, running, recovering,
+	// running, succeeded).
+	History []JobStatus
 	// Plan is the provisioning decision (valid from StatusProvisioning).
 	Plan plan.Plan
 	// Actual training outcome (valid once finished).
@@ -70,6 +75,19 @@ type Job struct {
 	FinalLoss    float64
 	Cost         float64
 	Err          string
+	// Recoveries counts completed recovery cycles; LostIterations is the
+	// un-checkpointed work redone across them.
+	Recoveries     int
+	LostIterations int
+
+	seq int // submission order, for deterministic Jobs() listing
+}
+
+// snapshot returns a copy safe to hand out (History is aliased otherwise).
+func (j *Job) snapshot() Job {
+	cp := *j
+	cp.History = append([]JobStatus(nil), j.History...)
+	return cp
 }
 
 // Controller drives jobs end to end: it profiles the workload once,
@@ -90,6 +108,17 @@ type Controller struct {
 	// CoresPerInstance is how many dockers fit one instance (physical
 	// cores; vCPUs/2 on the paper's testbed).
 	CoresPerInstance int
+	// Recovery tunes the failure-recovery state machine (see recovery.go);
+	// the zero value enables recovery with defaults.
+	Recovery RecoveryConfig
+	// AdvanceClock, when non-nil, is called with every simulated duration
+	// the controller spends (training segments, restart overhead, launch
+	// delays) so a manually driven provider clock tracks simulated time
+	// and scheduled preemptions fire at the right moments.
+	AdvanceClock func(dt float64)
+	// SimSeed seeds the training simulator (recovery segments perturb it
+	// so a resumed run does not replay the original noise).
+	SimSeed int64
 }
 
 // NewController wires a controller to a master and a cloud provider. The
@@ -146,16 +175,40 @@ func (c *Controller) profileFor(w *model.Workload) (*perf.Profile, error) {
 	return rep.Profile, nil
 }
 
+// setStatus records a lifecycle transition in the job's history and the
+// master event log.
+func (c *Controller) setStatus(job *Job, s JobStatus) {
+	c.mu.Lock()
+	job.Status = s
+	job.History = append(job.History, s)
+	c.mu.Unlock()
+	c.master.log.record("JobStatus", "job/"+job.ID, "%s", s)
+}
+
+// advance moves the controller's notion of simulated time forward.
+func (c *Controller) advance(dt float64) {
+	if c.AdvanceClock != nil && dt > 0 {
+		c.AdvanceClock(dt)
+	}
+}
+
 // Submit runs a workload to the given goal and returns the finished job.
+// The pipeline is a resumable state machine: planning and provisioning
+// retry transient cloud errors with capped exponential backoff, and a
+// mid-run instance failure moves the job to StatusRecovering — replace
+// the instance, resume from the last checkpoint, and re-plan with the
+// remaining time budget when the surviving plan can no longer meet the
+// deadline (see recovery.go).
 func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	if w == nil {
 		return nil, fmt.Errorf("cluster: nil workload")
 	}
 	c.mu.Lock()
 	c.nextJob++
-	job := &Job{ID: fmt.Sprintf("job-%d", c.nextJob), Workload: w, Goal: goal, Status: StatusPlanning}
+	job := &Job{ID: fmt.Sprintf("job-%d", c.nextJob), seq: c.nextJob, Workload: w, Goal: goal}
 	c.jobs[job.ID] = job
 	c.mu.Unlock()
+	c.setStatus(job, StatusPlanning)
 
 	c.master.log.record("JobSubmitted", "job/"+job.ID, "%s, goal %.0fs / loss %.2f", w.Name, goal.TimeSec, goal.LossTarget)
 	co := ctrlObs()
@@ -173,6 +226,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	fail := func(err error) (*Job, error) {
 		c.mu.Lock()
 		job.Status = StatusFailed
+		job.History = append(job.History, StatusFailed)
 		job.Err = err.Error()
 		c.mu.Unlock()
 		co.jobs.With(string(StatusFailed)).Inc()
@@ -198,101 +252,126 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	if err != nil {
 		return fail(err)
 	}
-	p := res.Plan
+	st := &runState{
+		job: job, w: w, goal: goal, prof: prof,
+		plan: res.Plan, ranked: res.Ranked,
+		rc:         c.Recovery.withDefaults(res.Plan.Iterations),
+		totalIters: res.Plan.Iterations,
+		handled:    make(map[string]bool),
+	}
 	c.mu.Lock()
-	job.Plan = p
-	job.Status = StatusProvisioning
+	job.Plan = st.plan
 	c.mu.Unlock()
+	c.setStatus(job, StatusProvisioning)
 	mark("plan")
-	c.master.log.record("JobPlanned", "job/"+job.ID, "%s", p)
+	c.master.log.record("JobPlanned", "job/"+job.ID, "%s", st.plan)
 
-	// Launch instances (one docker per core). If the provider is out of
-	// capacity for the chosen plan, fall back through the remaining
-	// feasible candidates in cost order.
-	instances, _, err := c.launchWithFallback(job, res.Ranked, &p)
-	if err != nil {
+	if err := c.provision(st); err != nil {
 		return fail(err)
 	}
-	cleanup := func() {
-		for _, pod := range c.master.Pods(job.ID) {
-			_ = c.master.Delete(pod.Name)
-		}
-		for _, inst := range instances {
-			_ = c.master.Drain("node-" + inst.ID)
-			_ = c.provider.Terminate(inst.ID)
-		}
-	}
-	defer cleanup()
+	defer c.teardown(job)
 
-	// Join each instance with the bootstrap credentials.
-	token, caHash := c.master.JoinCredentials()
-	for _, inst := range instances {
-		if _, err := c.master.Join("node-"+inst.ID, inst.ID, inst.Type, c.CoresPerInstance, token, caHash); err != nil {
-			return fail(err)
-		}
-	}
-
-	// Schedule pods.
-	for i := 0; i < p.PS; i++ {
-		if _, err := c.master.Schedule(PodSpec{Role: RolePS, Job: job.ID, TypeName: p.Type.Name}); err != nil {
-			return fail(err)
-		}
-	}
-	for i := 0; i < p.Workers; i++ {
-		if _, err := c.master.Schedule(PodSpec{Role: RoleWorker, Job: job.ID, TypeName: p.Type.Name}); err != nil {
-			return fail(err)
-		}
-	}
-
-	// Run the training job.
-	c.mu.Lock()
-	job.Status = StatusRunning
-	c.mu.Unlock()
+	c.setStatus(job, StatusRunning)
 	mark("launch")
-	sim, err := ddnnsim.Run(w, cloud.Homogeneous(p.Type, p.Workers, p.PS), ddnnsim.Options{
-		Iterations: p.Iterations,
-		LossEvery:  max(p.Iterations/100, 1),
-	})
-	if err != nil {
+	if err := c.runSegments(st); err != nil {
 		return fail(err)
 	}
 	mark("train")
 
 	c.mu.Lock()
-	job.TrainingTime = sim.TrainingTime
-	job.FinalLoss = sim.FinalLoss
+	job.TrainingTime = st.elapsed
+	job.FinalLoss = st.finalLoss
 	// Price the dockers the plan provisioned (Eq. 8), matching the
-	// planner's predicted Cost.
-	job.Cost = plan.Cost(p.Type, p.Workers, p.PS, sim.TrainingTime)
-	if sim.TrainingTime <= goal.TimeSec*1.05 {
+	// planner's predicted Cost; recovered jobs accumulate every segment,
+	// restart overhead, and launch delay.
+	job.Cost = st.cost
+	job.Recoveries = st.recoveries
+	job.LostIterations = st.lost
+	if st.elapsed <= goal.TimeSec*1.05 {
 		job.Status = StatusSucceeded
 	} else {
 		job.Status = StatusMissedGoal
 	}
+	job.History = append(job.History, job.Status)
 	status := job.Status
 	c.mu.Unlock()
 	co.jobs.With(string(status)).Inc()
 	c.master.log.record("JobFinished", "job/"+job.ID, "%s in %.0fs, loss %.3f, $%.3f",
-		status, sim.TrainingTime, sim.FinalLoss, job.Cost)
+		status, st.elapsed, st.finalLoss, job.Cost)
 	return job, nil
 }
 
+// provision launches the cluster for st.plan (transient launches retried,
+// capacity falling back through the ranked candidates), joins the nodes,
+// and schedules one pod per docker. The slowest instance's readiness
+// delay is charged against the deadline and the bill.
+func (c *Controller) provision(st *runState) error {
+	insts, _, err := c.launchWithFallback(st.job, st.ranked, &st.plan, st.rc)
+	if err != nil {
+		return err
+	}
+	token, caHash := c.master.JoinCredentials()
+	for _, inst := range insts {
+		if _, err := c.master.Join("node-"+inst.ID, inst.ID, inst.Type, c.CoresPerInstance, token, caHash); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < st.plan.PS; i++ {
+		if _, err := c.master.Schedule(PodSpec{Role: RolePS, Job: st.job.ID, TypeName: st.plan.Type.Name}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < st.plan.Workers; i++ {
+		if _, err := c.master.Schedule(PodSpec{Role: RoleWorker, Job: st.job.ID, TypeName: st.plan.Type.Name}); err != nil {
+			return err
+		}
+	}
+	maxDelay := 0.0
+	for _, inst := range insts {
+		if d := inst.ReadyAt - inst.LaunchedAt; d > maxDelay {
+			maxDelay = d
+		}
+	}
+	c.chargeTime(st, maxDelay)
+	return nil
+}
+
+// teardown releases everything the job still holds: pods, nodes, and any
+// instance the provider has not already reclaimed. It derives the set
+// from the provider and master rather than a captured slice, so clusters
+// rebuilt during recovery are torn down correctly.
+func (c *Controller) teardown(job *Job) {
+	for _, pod := range c.master.Pods(job.ID) {
+		_ = c.master.Delete(pod.Name)
+	}
+	for _, inst := range c.provider.List(map[string]string{"job": job.ID}) {
+		_ = c.master.Drain("node-" + inst.ID)
+		if inst.State == cloud.StateRunning || inst.State == cloud.StatePending {
+			_ = c.provider.Terminate(inst.ID)
+		}
+	}
+}
+
 // launchWithFallback tries the chosen plan first and then, on capacity
-// errors, every remaining feasible candidate from the ranked stream the
-// original search already produced (no re-search). On success it updates
-// *chosen to the plan that launched and returns the instances.
-func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *plan.Plan) ([]*cloud.Instance, int, error) {
+// errors (or transient errors that survived the retry budget), every
+// remaining feasible candidate from the ranked stream the original
+// search already produced (no re-search). On success it updates *chosen
+// to the plan that launched and returns the instances.
+func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *plan.Plan, rc RecoveryConfig) ([]*cloud.Instance, int, error) {
 	try := func(p plan.Plan) ([]*cloud.Instance, int, error) {
 		dockers := p.Workers + p.PS
 		n := (dockers + c.CoresPerInstance - 1) / c.CoresPerInstance
-		insts, err := c.provider.Launch(p.Type.Name, n, map[string]string{"job": job.ID})
+		insts, err := c.launchRetry(job, p.Type.Name, n, rc)
 		return insts, n, err
+	}
+	fallbackable := func(err error) bool {
+		return errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrTransient)
 	}
 	insts, n, err := try(*chosen)
 	if err == nil {
 		return insts, n, nil
 	}
-	if !errors.Is(err, cloud.ErrCapacity) {
+	if !fallbackable(err) {
 		return nil, 0, err
 	}
 	c.master.log.record("CapacityFallback", "job/"+job.ID, "%v; trying alternatives", err)
@@ -312,7 +391,7 @@ func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *pl
 			c.master.log.record("JobReplanned", "job/"+job.ID, "%s", cand)
 			return insts, n, nil
 		}
-		if !errors.Is(lerr, cloud.ErrCapacity) {
+		if !fallbackable(lerr) {
 			return nil, 0, lerr
 		}
 	}
@@ -327,16 +406,17 @@ func (c *Controller) Job(id string) (Job, error) {
 	if !ok {
 		return Job{}, fmt.Errorf("cluster: no such job %s", id)
 	}
-	return *j, nil
+	return j.snapshot(), nil
 }
 
-// Jobs returns snapshots of all jobs.
+// Jobs returns snapshots of all jobs in submission order.
 func (c *Controller) Jobs() []Job {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]Job, 0, len(c.jobs))
 	for _, j := range c.jobs {
-		out = append(out, *j)
+		out = append(out, j.snapshot())
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }

@@ -50,10 +50,39 @@ func Heterogeneous(fast, slow cloud.InstanceType, nwk, nps int) ClusterSpec {
 	return cloud.Heterogeneous(fast, slow, nwk, nps)
 }
 
+// Fault schedules the loss of one docker at a simulated time: a worker or
+// PS process killed mid-run, as a spot revocation of its host instance
+// would. The simulation halts at that instant — a dead PS shard wedges
+// every worker, and a dead worker wedges the BSP barrier — and the run
+// returns with Result.Interrupted set so a controller can replace the
+// docker and resume from the last checkpoint.
+type Fault struct {
+	// AtSec is the simulated time of the kill (clamped to a hair above
+	// zero; the flow engine treats a non-positive horizon as unbounded).
+	AtSec float64
+	// Role is "worker" or "ps"; Index is the docker's ordinal within that
+	// role. Both are reporting labels — any fault suspends the whole
+	// cluster regardless of which docker died.
+	Role  string
+	Index int
+}
+
 // Options tune a simulation run.
 type Options struct {
 	// Iterations overrides the workload's iteration budget when > 0.
 	Iterations int
+	// StartIteration offsets the loss curve when resuming a run from a
+	// checkpoint: iteration i of this segment reports the loss of global
+	// iteration StartIteration+i, so spliced segments reproduce the loss
+	// trajectory of one uninterrupted run.
+	StartIteration int
+	// CheckpointEvery, when > 0, checkpoints model state every k
+	// iterations. An interrupted run then reports CheckpointIter — the
+	// last iteration safely on disk — and the work after it as lost.
+	CheckpointEvery int
+	// Faults schedules docker kills at simulated times (see Fault). The
+	// earliest fault halts the run; later entries are ignored.
+	Faults []Fault
 	// TraceBin, when > 0, records per-PS NIC throughput time series with
 	// the given bin width in seconds (Figs. 2 and 7).
 	TraceBin float64
@@ -148,6 +177,18 @@ type Result struct {
 	IterRecords []IterRecord
 	// FinalLoss is the loss at the last iteration.
 	FinalLoss float64
+	// Interrupted reports that a scheduled Fault halted the run before
+	// the iteration budget completed; Fault is the one that fired. The
+	// other fields still describe the partial segment (TrainingTime is
+	// time until the fault, Iterations the count completed before it).
+	Interrupted bool
+	Fault       *Fault
+	// CheckpointIter is the last segment-local iteration safely
+	// checkpointed before the interruption (0 when checkpointing is
+	// disabled); LostIterations is the completed work after it that a
+	// resuming run must redo.
+	CheckpointIter int
+	LostIterations int
 }
 
 // MeanWorkerCPUUtil averages worker CPU utilization across the cluster.
@@ -207,12 +248,52 @@ func Run(w *model.Workload, cluster ClusterSpec, opt Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("ddnnsim: unsupported sync mode %v", w.Sync)
 	}
-	end := s.eng.Run(opt.Horizon)
+	// The earliest scheduled fault halts the run at its instant, exactly
+	// like a horizon but with a graceful partial result instead of an
+	// error. The flow engine treats a non-positive horizon as unbounded,
+	// so a fault at t<=0 is clamped to a hair above zero.
+	fault, stop := earliestFault(opt.Faults)
+	faultBinds := fault != nil && (opt.Horizon <= 0 || stop <= opt.Horizon)
+	if !faultBinds {
+		stop = opt.Horizon
+	}
+	end := s.eng.Run(stop)
 	if s.completed < iters {
+		if faultBinds {
+			res := s.result(end)
+			res.Interrupted = true
+			res.Fault = fault
+			if opt.CheckpointEvery > 0 {
+				res.CheckpointIter = s.completed - s.completed%opt.CheckpointEvery
+			}
+			res.LostIterations = s.completed - res.CheckpointIter
+			obs.Debugf("ddnnsim: fault %s[%d] at %.1fs after %d/%d iterations (%d checkpointed, %d lost)",
+				fault.Role, fault.Index, end, s.completed, iters, res.CheckpointIter, res.LostIterations)
+			return res, nil
+		}
 		return nil, fmt.Errorf("ddnnsim: horizon %.1fs reached after %d/%d iterations",
 			opt.Horizon, s.completed, iters)
 	}
 	return s.result(end), nil
+}
+
+// earliestFault picks the first scheduled fault and its clamped instant.
+func earliestFault(faults []Fault) (*Fault, float64) {
+	var best *Fault
+	for i := range faults {
+		if best == nil || faults[i].AtSec < best.AtSec {
+			best = &faults[i]
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	at := best.AtSec
+	if at <= 0 {
+		at = 1e-9
+	}
+	cp := *best
+	return &cp, at
 }
 
 // sim holds the live simulation state.
@@ -554,15 +635,17 @@ func (s *sim) result(end float64) *Result {
 		res.PSNICUtil = append(res.PSNICUtil, r.Utilization(end))
 	}
 	// Loss curve: the paper's Eq. (1) family with multiplicative noise,
-	// sampled at iteration completion times.
+	// sampled at iteration completion times. Resumed segments offset by
+	// StartIteration so the curve continues the global trajectory.
 	n := s.nWk
 	for i := s.opt.LossEvery; i <= s.completed; i += s.opt.LossEvery {
-		loss := s.w.Loss.Loss(s.w.Sync, float64(i), n)
+		gi := s.opt.StartIteration + i
+		loss := s.w.Loss.Loss(s.w.Sync, float64(gi), n)
 		loss *= 1 + 0.03*s.lossRng.NormFloat64()
 		if loss < 0 {
 			loss = 0
 		}
-		res.Loss = append(res.Loss, LossPoint{Iter: i, Time: s.iterEnd[i-1], Loss: loss})
+		res.Loss = append(res.Loss, LossPoint{Iter: gi, Time: s.iterEnd[i-1], Loss: loss})
 	}
 	if len(res.Loss) > 0 {
 		res.FinalLoss = res.Loss[len(res.Loss)-1].Loss

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+func init() {
+	register("robustness", robustness)
+}
+
+// robustness measures what the paper's predictability promise costs under
+// failures: jobs are driven through the full controller pipeline while
+// the simulated provider preempts instances, and the tables report
+// deadline attainment and cost overhead — first for targeted preemptions
+// at different points of the run (with and without recovery), then swept
+// over spot preemption rates.
+func robustness(cfg Config) ([]*Table, error) {
+	w, err := model.WorkloadByName("mnist DNN")
+	if err != nil {
+		return nil, err
+	}
+	goal := plan.Goal{TimeSec: 3600, LossTarget: 0.2}
+
+	// drive runs one job through a fresh controller whose provider clock
+	// follows simulated time. A job failed by a preemption is a result
+	// here, not an error.
+	drive := func(fp cloud.FaultPlan, disabled bool, simSeed int64) (*cluster.Job, error) {
+		master, err := cluster.NewMaster()
+		if err != nil {
+			return nil, err
+		}
+		now := new(float64)
+		provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
+		if fp != (cloud.FaultPlan{}) {
+			provider.SetFaultPlan(fp)
+		}
+		ctl := cluster.NewController(master, provider, nil, "")
+		ctl.AdvanceClock = func(dt float64) { *now += dt }
+		ctl.SimSeed = simSeed
+		ctl.Recovery.Disabled = disabled
+		ctl.Recovery.Sleep = func(time.Duration) {}
+		job, err := ctl.Submit(w, goal)
+		if job == nil {
+			return nil, err
+		}
+		return job, nil
+	}
+
+	base, err := drive(cloud.FaultPlan{}, false, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if base.Status != cluster.StatusSucceeded {
+		return nil, fmt.Errorf("robustness: fault-free baseline %s (%s)", base.Status, base.Err)
+	}
+	t0, cost0 := base.TrainingTime, base.Cost
+	dockers := base.Plan.Workers + base.Plan.PS
+	nInst := (dockers + 1) / 2 // controller default: two dockers per instance
+
+	ta := &Table{
+		ID:    "Robustness (targeted)",
+		Title: "Recovery outcome vs preemption instant (mnist DNN, Tg=3600s, one instance revoked)",
+		Header: []string{"scenario", "status", "time (s)", "cost ($)",
+			"overhead %", "recoveries", "lost iters"},
+	}
+	addRow := func(name string, job *cluster.Job) {
+		overhead := 0.0
+		if cost0 > 0 {
+			overhead = 100 * (job.Cost - cost0) / cost0
+		}
+		ta.AddRow(name, string(job.Status),
+			fmt.Sprintf("%.0f", job.TrainingTime), fmt.Sprintf("%.3f", job.Cost),
+			fmt.Sprintf("%+.1f", overhead), fmt.Sprintf("%d", job.Recoveries),
+			fmt.Sprintf("%d", job.LostIterations))
+	}
+	addRow("no faults", base)
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		fp := cloud.FaultPlan{Seed: cfg.Seed + 1, PreemptAtSec: t0 * frac, PreemptNth: nInst - 1}
+		job, err := drive(fp, false, cfg.Seed)
+		if err != nil && job == nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("preempt at %.0f%% of run", frac*100), job)
+	}
+	disabled, err := drive(cloud.FaultPlan{Seed: cfg.Seed + 1, PreemptAtSec: t0 * 0.5, PreemptNth: nInst - 1},
+		true, cfg.Seed)
+	if disabled == nil {
+		return nil, err
+	}
+	addRow("preempt at 50%, no recovery", disabled)
+	ta.Notes = append(ta.Notes,
+		"overhead is the cost increase over the fault-free run: redone work plus restart time",
+		"later preemptions lose no more checkpointed work but leave less slack before Tg")
+
+	trials := 3
+	tb := &Table{
+		ID:    "Robustness (rate sweep)",
+		Title: fmt.Sprintf("Deadline attainment vs spot preemption rate (%d trials per rate)", trials),
+		Header: []string{"preempt rate", "deadline met", "mean time (s)",
+			"mean cost ($)", "cost overhead %"},
+	}
+	for _, rate := range []float64{0, 0.2, 0.4, 0.6} {
+		met := 0
+		sumTime, sumCost := 0.0, 0.0
+		for tr := 0; tr < trials; tr++ {
+			fp := cloud.FaultPlan{}
+			if rate > 0 {
+				fp = cloud.FaultPlan{
+					Seed:          cfg.Seed + int64(1000*rate) + int64(tr),
+					PreemptRate:   rate,
+					PreemptMinSec: t0 * 0.2,
+					PreemptMaxSec: t0 * 0.9,
+				}
+			}
+			job, err := drive(fp, false, cfg.Seed+int64(tr))
+			if job == nil {
+				return nil, err
+			}
+			if job.Status == cluster.StatusSucceeded {
+				met++
+			}
+			sumTime += job.TrainingTime
+			sumCost += job.Cost
+		}
+		overhead := 0.0
+		if cost0 > 0 {
+			overhead = 100 * (sumCost/float64(trials) - cost0) / cost0
+		}
+		tb.AddRow(fmt.Sprintf("%.1f", rate),
+			fmt.Sprintf("%d/%d", met, trials),
+			fmt.Sprintf("%.0f", sumTime/float64(trials)),
+			fmt.Sprintf("%.3f", sumCost/float64(trials)),
+			fmt.Sprintf("%+.1f", overhead))
+	}
+	tb.Notes = append(tb.Notes,
+		"each instance is independently revoked with the given probability at a uniform instant",
+		"a job is abandoned after 3 recoveries; abandoned and late jobs both count as missed")
+	return []*Table{ta, tb}, nil
+}

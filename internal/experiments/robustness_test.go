@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessTables(t *testing.T) {
+	tables, err := Run("robustness", Config{Scale: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	targeted, sweep := tables[0], tables[1]
+	if len(targeted.Rows) != 5 {
+		t.Fatalf("targeted table has %d rows, want 5 (baseline, 3 preemptions, disabled)", len(targeted.Rows))
+	}
+	if got := targeted.Rows[0][1]; got != "succeeded" {
+		t.Errorf("fault-free baseline status = %s", got)
+	}
+	for i := 1; i <= 3; i++ {
+		row := targeted.Rows[i]
+		if row[1] != "succeeded" {
+			t.Errorf("row %q status = %s, want succeeded (recovery within slack)", row[0], row[1])
+		}
+		if row[5] == "0" {
+			t.Errorf("row %q reports zero recoveries", row[0])
+		}
+	}
+	if got := targeted.Rows[4][1]; got != "failed" {
+		t.Errorf("no-recovery row status = %s, want failed", got)
+	}
+	if len(sweep.Rows) != 4 {
+		t.Fatalf("sweep table has %d rows, want 4", len(sweep.Rows))
+	}
+	if got := sweep.Rows[0][1]; !strings.HasPrefix(got, "3/3") {
+		t.Errorf("rate 0 attainment = %s, want 3/3", got)
+	}
+}
+
+func TestRobustnessIsDeterministic(t *testing.T) {
+	render := func() string {
+		tables, err := Run("robustness", Config{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, ta := range tables {
+			if err := ta.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("renders differ:\n%s\n---\n%s", a, b)
+	}
+}

@@ -81,7 +81,9 @@ func TestWorkerFailsFastWhenServerClosesMidRun(t *testing.T) {
 		ID: 0, Servers: []string{addr}, Model: replica,
 		Train: shard, Batch: 5, Iterations: 50, Seed: 1,
 	})
-	time.Sleep(100 * time.Millisecond) // let it reach the barrier
+	// The server counts the push before blocking on the barrier, so a
+	// non-zero push count means the worker is in (or entering) the wait.
+	waitUntil(t, "worker to reach the barrier", func() bool { return srv.Stats().Pushes >= 1 })
 	srv.Close()
 	if err := waitErr(t, errc, 5*time.Second); err == nil {
 		t.Error("worker succeeded despite server shutdown")

@@ -128,6 +128,7 @@ func TestSSPBoundBlocksFastWorker(t *testing.T) {
 		_, _, err := srv.sync(0, 3, []float64{1})
 		released <- err
 	}()
+	waitUntil(t, "third sync to block", func() bool { return srv.Stats().Pushes == 3 })
 	select {
 	case err := <-released:
 		t.Fatalf("step 3 not blocked (err=%v)", err)
@@ -167,7 +168,9 @@ func TestSSPCloseReleasesBlockedWorker(t *testing.T) {
 		_, _, err := srv.sync(0, 2, []float64{1})
 		released <- err
 	}()
-	time.Sleep(50 * time.Millisecond)
+	// Pushes is counted before the staleness wait, so two pushes mean the
+	// goroutine is in (or entering) the blocked region.
+	waitUntil(t, "second sync to block", func() bool { return srv.Stats().Pushes == 2 })
 	srv.Close()
 	select {
 	case err := <-released:

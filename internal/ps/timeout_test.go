@@ -1,0 +1,65 @@
+package ps
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond until it holds, failing the test after 5s. Tests
+// use it instead of fixed sleeps so they are deterministic under load.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// silentServer accepts connections and reads everything thrown at it but
+// never replies — the failure mode of a wedged or half-dead PS process,
+// which only an I/O deadline can surface.
+func silentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				_, _ = io.Copy(io.Discard, c)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestWorkerTimesOutOnSilentServer(t *testing.T) {
+	replica := newReplica(t)
+	addr := silentServer(t)
+	errc := runWorkerAsync(t, WorkerConfig{
+		ID: 0, Servers: []string{addr}, Model: replica,
+		Train: dataset(t, 30), Batch: 5, Iterations: 5, Seed: 1,
+		IOTimeout: 100 * time.Millisecond,
+	})
+	err := waitErr(t, errc, 5*time.Second)
+	if err == nil {
+		t.Fatal("worker succeeded against a server that never replies")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error is not a network timeout: %v", err)
+	}
+}

@@ -4,9 +4,18 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"time"
 
 	"cynthia/internal/data"
 	"cynthia/internal/nn"
+)
+
+// Default worker network timeouts. The I/O timeout bounds every frame
+// read and write, so it must comfortably exceed the longest legitimate
+// stall — a BSP barrier held open by the slowest worker.
+const (
+	DefaultDialTimeout = 10 * time.Second
+	DefaultIOTimeout   = 2 * time.Minute
 )
 
 // WorkerConfig configures one training worker.
@@ -26,6 +35,14 @@ type WorkerConfig struct {
 	Iterations int
 	// Seed drives batch shuffling.
 	Seed int64
+	// DialTimeout bounds the TCP connect to each shard, so a blackholed
+	// address fails the worker instead of hanging it. 0 selects
+	// DefaultDialTimeout; negative disables the timeout.
+	DialTimeout time.Duration
+	// IOTimeout bounds each frame write and read on a shard connection
+	// (a server that accepts but never replies trips it). 0 selects
+	// DefaultIOTimeout; negative disables deadlines.
+	IOTimeout time.Duration
 }
 
 // WorkerStats summarizes one worker's run.
@@ -60,10 +77,30 @@ func (s *WorkerStats) MeanStaleness() float64 {
 	return float64(total) / float64(len(s.Staleness))
 }
 
-// shardConn is one live connection to a PS shard.
+// shardConn is one live connection to a PS shard. Every frame written or
+// read through it carries a fresh deadline of timeout (when positive).
 type shardConn struct {
-	conn   net.Conn
-	lo, hi int
+	conn    net.Conn
+	lo, hi  int
+	timeout time.Duration
+}
+
+func (sc *shardConn) write(typ byte, payload []byte) error {
+	if sc.timeout > 0 {
+		if err := sc.conn.SetWriteDeadline(time.Now().Add(sc.timeout)); err != nil {
+			return err
+		}
+	}
+	return writeFrame(sc.conn, typ, payload)
+}
+
+func (sc *shardConn) read() (byte, []byte, error) {
+	if sc.timeout > 0 {
+		if err := sc.conn.SetReadDeadline(time.Now().Add(sc.timeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	return readFrame(sc.conn)
 }
 
 // RunWorker connects to every PS shard, pulls the initial parameters, and
@@ -83,26 +120,40 @@ func RunWorker(cfg WorkerConfig) (*WorkerStats, error) {
 	}
 	numParams := cfg.Model.NumParams()
 	stats := &WorkerStats{ID: cfg.ID}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	ioTimeout := cfg.IOTimeout
+	if ioTimeout == 0 {
+		ioTimeout = DefaultIOTimeout
+	}
 
 	shards := make([]*shardConn, len(cfg.Servers))
 	defer func() {
 		for _, sc := range shards {
 			if sc != nil {
-				_ = writeFrame(sc.conn, msgBye, nil)
+				_ = sc.write(msgBye, nil)
 				sc.conn.Close()
 			}
 		}
 	}()
 	for k, addr := range cfg.Servers {
-		conn, err := net.Dial("tcp", addr)
+		var conn net.Conn
+		var err error
+		if dialTimeout > 0 {
+			conn, err = net.DialTimeout("tcp", addr, dialTimeout)
+		} else {
+			conn, err = net.Dial("tcp", addr)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("ps: worker %d dialing shard %d: %w", cfg.ID, k, err)
 		}
 		lo, hi := ShardRange(numParams, k, len(cfg.Servers))
-		sc := &shardConn{conn: conn, lo: lo, hi: hi}
+		sc := &shardConn{conn: conn, lo: lo, hi: hi, timeout: ioTimeout}
 		shards[k] = sc
 		hello := encodeHello(cfg.ID, hi-lo)
-		if err := writeFrame(conn, msgHello, hello); err != nil {
+		if err := sc.write(msgHello, hello); err != nil {
 			return nil, fmt.Errorf("ps: worker %d hello to shard %d: %w", cfg.ID, k, err)
 		}
 		stats.BytesSent += int64(len(hello) + 5)
@@ -155,13 +206,13 @@ func syncAll(shards []*shardConn, step uint32, grad, flat []float64, stats *Work
 		} else {
 			payload = encodeFloats(step, grad[sc.lo:sc.hi])
 		}
-		if err := writeFrame(sc.conn, msgSync, payload); err != nil {
+		if err := sc.write(msgSync, payload); err != nil {
 			return err
 		}
 		stats.BytesSent += int64(len(payload) + 5)
 	}
 	for k, sc := range shards {
-		typ, payload, err := readFrame(sc.conn)
+		typ, payload, err := sc.read()
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race stress bench bench-obs check
+.PHONY: all build vet test race stress bench bench-obs coverage fuzz-smoke check
 
 all: check
 
@@ -33,4 +33,26 @@ bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkSpanStartEnd' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/obs
 
-check: vet build race
+# coverage enforces per-package statement-coverage floors on the search
+# core, the flow model, and the recovery state machine. Floors sit a few
+# points under the measured numbers so a coverage regression fails CI
+# without turning every refactor into a fight with the gate.
+coverage:
+	@set -e; for spec in internal/plan:80 internal/flow:80 internal/cluster:85; do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		$(GO) test -count=1 -coverprofile=.cover.out ./$$pkg >/dev/null; \
+		total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+		rm -f .cover.out; \
+		echo "$$pkg: $$total% of statements (floor $$floor%)"; \
+		awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t+0 >= f+0) }' || \
+			{ echo "coverage for $$pkg fell below the $$floor% floor"; exit 1; }; \
+	done
+
+# fuzz-smoke runs each native fuzz target briefly from its seed corpus
+# (go test accepts only one -fuzz pattern per invocation).
+fuzz-smoke:
+	$(GO) test ./internal/plan -run '^$$' -fuzz '^FuzzRequestNormalize$$' -fuzztime 5s
+	$(GO) test ./internal/loss -run '^$$' -fuzz '^FuzzFit$$' -fuzztime 5s
+	$(GO) test ./internal/cloud -run '^$$' -fuzz '^FuzzFaultPlanSchedule$$' -fuzztime 5s
+
+check: vet build race coverage

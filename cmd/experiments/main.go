@@ -11,25 +11,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cynthia/internal/experiments"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args with its own FlagSet
+// and returns the process exit code instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale  = flag.Float64("scale", 1.0, "iteration-budget scale factor (1.0 = paper scale)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		only   = flag.String("only", "", "run a single experiment id")
-		list   = flag.Bool("list", false, "list experiment ids")
-		format = flag.String("format", "text", "output format: text, csv, or json")
+		scale  = fs.Float64("scale", 1.0, "iteration-budget scale factor (1.0 = paper scale)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		only   = fs.String("only", "", "run a single experiment id")
+		list   = fs.Bool("list", false, "list experiment ids")
+		format = fs.String("format", "text", "output format: text, csv, or json")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
 	var (
@@ -42,11 +53,12 @@ func main() {
 		tables, err = experiments.RunAll(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
-	if err := experiments.WriteAll(os.Stdout, tables, *format); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err := experiments.WriteAll(stdout, tables, *format); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
+	return 0
 }

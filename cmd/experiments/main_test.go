@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cynthia/internal/experiments"
+)
+
+func TestListPrintsEveryExperimentID(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	lines := strings.Fields(out.String())
+	ids := experiments.IDs()
+	if len(lines) != len(ids) {
+		t.Fatalf("listed %d ids, registry has %d", len(lines), len(ids))
+	}
+	for i, id := range ids {
+		if lines[i] != id {
+			t.Errorf("line %d = %q, want %q", i, lines[i], id)
+		}
+	}
+}
+
+func TestRunSingleExperimentJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-only", "table1", "-scale", "0.05", "-format", "json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	var tables []struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &tables); err != nil {
+		t.Fatalf("output is not the JSON table array: %v\n%s", err, out.String())
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatalf("experiment produced no table rows: %s", out.String())
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "no-such-figure"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr %q does not name the unknown experiment", errOut.String())
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestBadFormatFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "table1", "-scale", "0.05", "-format", "yaml"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+}

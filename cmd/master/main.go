@@ -33,10 +33,14 @@ func main() {
 	}
 }
 
-func run(addr string, gpu bool) error {
+// setup assembles the control plane — master, provider, controller, HTTP
+// API — and returns the route handler plus the join credentials the
+// banner prints. Split from run so tests can serve the handler from
+// httptest instead of a real listener.
+func setup(gpu bool) (http.Handler, *cluster.Master, *cloud.Catalog, error) {
 	master, err := cluster.NewMaster()
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	catalog := cloud.DefaultCatalog()
 	if gpu {
@@ -45,9 +49,16 @@ func run(addr string, gpu bool) error {
 	provider := cloud.NewProvider(catalog, nil)
 	controller := cluster.NewController(master, provider, nil, "")
 	api := cluster.NewAPI(master, controller)
+	return api.Handler(), master, catalog, nil
+}
 
+func run(addr string, gpu bool) error {
+	handler, master, catalog, err := setup(gpu)
+	if err != nil {
+		return err
+	}
 	token, caHash := master.JoinCredentials()
 	fmt.Printf("master: listening on %s (%d instance types)\n", addr, catalog.Len())
 	fmt.Printf("master: nodes join with token %s, CA hash %s...\n", token, caHash[:23])
-	return http.ListenAndServe(addr, api.Handler())
+	return http.ListenAndServe(addr, handler)
 }

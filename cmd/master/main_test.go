@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cynthia/internal/cloud"
+)
+
+func newTestServer(t *testing.T, gpu bool) *httptest.Server {
+	t.Helper()
+	handler, _, _, err := setup(gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func TestHealthAndEmptyCluster(t *testing.T) {
+	srv := newTestServer(t, false)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %s", resp.Status)
+	}
+	var nodes, jobs []map[string]any
+	getJSON(t, srv.URL+"/api/nodes", &nodes)
+	getJSON(t, srv.URL+"/api/jobs", &jobs)
+	if len(nodes) != 0 || len(jobs) != 0 {
+		t.Errorf("fresh master reports %d nodes, %d jobs", len(nodes), len(jobs))
+	}
+}
+
+// TestSubmitJobEndToEnd drives one synchronous submission through the
+// HTTP API: the controller profiles, plans, provisions simulated
+// instances, trains in ddnnsim, and the response carries the finished job.
+func TestSubmitJobEndToEnd(t *testing.T) {
+	srv := newTestServer(t, false)
+	body := `{"workload": "mnist DNN", "deadline_sec": 3600, "loss_target": 0.2}`
+	resp, err := http.Post(srv.URL+"/api/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /api/jobs: %s", resp.Status)
+	}
+	var job struct {
+		ID          string  `json:"id"`
+		Status      string  `json:"status"`
+		Workers     int     `json:"workers"`
+		PS          int     `json:"ps"`
+		TrainingSec float64 `json:"training_sec"`
+		CostUSD     float64 `json:"cost_usd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != "succeeded" {
+		t.Fatalf("job status %q, want succeeded", job.Status)
+	}
+	if job.Workers < 1 || job.PS < 1 || job.TrainingSec <= 0 || job.CostUSD <= 0 {
+		t.Errorf("implausible job outcome: %+v", job)
+	}
+
+	var fetched map[string]any
+	getJSON(t, srv.URL+"/api/jobs/"+job.ID, &fetched)
+	if fetched["status"] != "succeeded" {
+		t.Errorf("GET job %s status %v", job.ID, fetched["status"])
+	}
+	var events []map[string]any
+	getJSON(t, srv.URL+"/api/events", &events)
+	if len(events) == 0 {
+		t.Error("no lifecycle events recorded for the submission")
+	}
+}
+
+func TestSubmitRejectsBadPayloads(t *testing.T) {
+	srv := newTestServer(t, false)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed", `{`},
+		{"unknown field", `{"workload": "mnist DNN", "deadline_sec": 1, "loss_target": 0.2, "extra": 1}`},
+		{"missing workload", `{"deadline_sec": 3600, "loss_target": 0.2}`},
+		{"unknown workload", `{"workload": "gpt-4", "deadline_sec": 3600, "loss_target": 0.2}`},
+		{"bad goal", `{"workload": "mnist DNN", "deadline_sec": -5, "loss_target": 0.2}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/api/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %s, want 400", resp.Status)
+			}
+		})
+	}
+}
+
+func TestGetMissingJobIs404(t *testing.T) {
+	srv := newTestServer(t, false)
+	resp, err := http.Get(srv.URL + "/api/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %s, want 404", resp.Status)
+	}
+}
+
+// TestGPUFlagSelectsExtendedCatalog pins what -gpu changes: the provider
+// catalog grows from the paper's four CPU families to the extended set.
+func TestGPUFlagSelectsExtendedCatalog(t *testing.T) {
+	_, _, def, err := setup(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ext, err := setup(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Len() != cloud.DefaultCatalog().Len() || ext.Len() != cloud.ExtendedCatalog().Len() {
+		t.Errorf("catalog sizes %d/%d do not match the default/extended catalogs", def.Len(), ext.Len())
+	}
+	if ext.Len() <= def.Len() {
+		t.Errorf("extended catalog (%d types) not larger than default (%d)", ext.Len(), def.Len())
+	}
+}

@@ -65,6 +65,11 @@ func (req Request) Normalize() (Request, error) {
 	case out.Headroom < 0:
 		out.Headroom = NoHeadroom
 	}
+	// A reserve of 100% or more (or NaN) would fold into a non-positive
+	// deadline; the !(x < 1) form also rejects NaN.
+	if !(out.Headroom < 1) {
+		return Request{}, fmt.Errorf("plan: headroom %v must be below 1", out.Headroom)
+	}
 	if out.Headroom != NoHeadroom {
 		out.Goal.TimeSec *= 1 - out.Headroom
 		out.Headroom = NoHeadroom // reserve folded into the goal
@@ -105,6 +110,29 @@ func upperWorkersFor(p *perf.Profile, t cloud.InstanceType, bounds Bounds, nps i
 		upper = int(math.Ceil(math.Min(float64(upper), balance)))
 	}
 	return upper
+}
+
+// EnumerateConfigs streams the (workers, ps) configurations Algorithm 1
+// scans for one instance type, in scan order — PS escalations ascending,
+// worker counts ascending — until yield returns false or the space is
+// exhausted. It normalizes the request through the same single defaulting
+// path the engine uses, so the stream is exactly the candidate set a
+// Provision or Candidates run would evaluate for that type. A type whose
+// Theorem 4.1 bounds are unsatisfiable, or whose lower bound exceeds the
+// worker quota, yields nothing. The test harness (internal/simtest) audits
+// the engine against this stream: the chosen plan must be the cheapest
+// first-feasible configuration it contains.
+func EnumerateConfigs(req Request, t cloud.InstanceType, yield func(workers, ps int) bool) error {
+	cfg, err := req.normalize()
+	if err != nil {
+		return err
+	}
+	bounds, err := ComputeBounds(cfg.profile, t, cfg.goal)
+	if err != nil || bounds.LowerWorkers > cfg.maxWorkers {
+		return nil // this type offers no selectable candidates
+	}
+	enumerate(cfg, t, bounds, yield)
+	return nil
 }
 
 // enumerate streams the Algorithm 1 candidate configurations for one

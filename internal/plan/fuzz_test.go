@@ -1,0 +1,65 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+	"cynthia/internal/perf"
+)
+
+// FuzzRequestNormalize drives arbitrary numeric shapes through the single
+// defaulting path every search entry point shares. Whatever the input,
+// Normalize must not panic; whenever it accepts a request, the result
+// must be fully defaulted and Normalize must be idempotent — the
+// headroom fold in particular must not compound on a second pass.
+func FuzzRequestNormalize(f *testing.F) {
+	f.Add(0.8, 0.192, 0.037, 90.0, 0.15, false, 3600.0, 0.2, 0, 0, 0.0)
+	f.Add(30.0, 80.0, 0.012, 135.0, 0.45, true, 600.0, 0.5, 12, 2, 0.25)
+	f.Add(1.0, 1.0, 0.01, 100.0, 0.1, false, 100.0, 0.2, -3, -1, -0.5)
+	f.Add(math.Inf(1), -1.0, 0.0, 0.0, 0.0, true, 0.0, 0.0, 0, 0, math.NaN())
+	f.Fuzz(func(t *testing.T, witer, gparam, pscpu, beta0, beta1 float64, asp bool,
+		timeSec, lossTarget float64, maxWorkers, maxEsc int, headroom float64) {
+		sync := model.BSP
+		if asp {
+			sync = model.ASP
+		}
+		w := &model.Workload{
+			Name: "fuzz", Batch: 128, Iterations: 100, Sync: sync,
+			WiterGFLOPs: witer, GparamMB: gparam, PSCPUPerMB: pscpu,
+			Loss: model.LossParams{Beta0: beta0, Beta1: beta1},
+		}
+		req := Request{
+			Profile:          perf.SyntheticProfile(w, cloud.DefaultCatalog().Types()[0]),
+			Goal:             Goal{TimeSec: timeSec, LossTarget: lossTarget},
+			MaxWorkers:       maxWorkers,
+			MaxPSEscalations: maxEsc,
+			Headroom:         headroom,
+		}
+		nr, err := req.Normalize()
+		if err != nil {
+			return
+		}
+		if nr.Predictor == nil || nr.Catalog == nil {
+			t.Fatalf("accepted request missing defaults: %+v", nr)
+		}
+		if nr.MaxWorkers <= 0 {
+			t.Fatalf("normalized MaxWorkers %d not positive", nr.MaxWorkers)
+		}
+		if nr.MaxPSEscalations != NoEscalation && nr.MaxPSEscalations <= 0 {
+			t.Fatalf("normalized MaxPSEscalations %d neither concrete nor NoEscalation", nr.MaxPSEscalations)
+		}
+		if nr.Headroom != NoHeadroom {
+			t.Fatalf("headroom %v not folded into the goal", nr.Headroom)
+		}
+		again, err := nr.Normalize()
+		if err != nil {
+			t.Fatalf("re-normalizing an accepted request failed: %v", err)
+		}
+		if again.Goal != nr.Goal || again.MaxWorkers != nr.MaxWorkers ||
+			again.MaxPSEscalations != nr.MaxPSEscalations || again.Headroom != nr.Headroom {
+			t.Fatalf("Normalize not idempotent:\n first: %+v\n again: %+v", nr, again)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package simtest
+
+// The golden end-to-end corpus: JSON scenario files under
+// testdata/scenarios describe one job each — workload, goal, provisioner,
+// fault schedule, recovery knobs — and RunScenario replays the full
+// planner -> controller -> ddnnsim pipeline on a simulated provider
+// clock. Every float in the Outcome round-trips through JSON bit-for-bit
+// (encoding/json emits the shortest representation that parses back to
+// the same float64), so golden comparisons are exact, not approximate.
+// Regenerate expectations with:
+//
+//	go test ./internal/simtest -run Golden -update
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cynthia/internal/baseline"
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+// FaultSpec mirrors cloud.FaultPlan with JSON tags so scenario files can
+// schedule provider faults declaratively.
+type FaultSpec struct {
+	Seed                    int64   `json:"seed,omitempty"`
+	TransientRate           float64 `json:"transient_rate,omitempty"`
+	MaxConsecutiveTransient int     `json:"max_consecutive_transient,omitempty"`
+	LaunchDelayMaxSec       float64 `json:"launch_delay_max_sec,omitempty"`
+	PreemptRate             float64 `json:"preempt_rate,omitempty"`
+	PreemptMinSec           float64 `json:"preempt_min_sec,omitempty"`
+	PreemptMaxSec           float64 `json:"preempt_max_sec,omitempty"`
+	PreemptAtSec            float64 `json:"preempt_at_sec,omitempty"`
+	PreemptNth              int     `json:"preempt_nth,omitempty"`
+}
+
+func (f *FaultSpec) plan() cloud.FaultPlan {
+	return cloud.FaultPlan{
+		Seed:                    f.Seed,
+		TransientRate:           f.TransientRate,
+		MaxConsecutiveTransient: f.MaxConsecutiveTransient,
+		LaunchDelayMaxSec:       f.LaunchDelayMaxSec,
+		PreemptRate:             f.PreemptRate,
+		PreemptMinSec:           f.PreemptMinSec,
+		PreemptMaxSec:           f.PreemptMaxSec,
+		PreemptAtSec:            f.PreemptAtSec,
+		PreemptNth:              f.PreemptNth,
+	}
+}
+
+// RecoverySpec selects the controller recovery knobs a scenario overrides.
+type RecoverySpec struct {
+	Disabled           bool    `json:"disabled,omitempty"`
+	MaxRecoveries      int     `json:"max_recoveries,omitempty"`
+	CheckpointEvery    int     `json:"checkpoint_every,omitempty"`
+	RestartOverheadSec float64 `json:"restart_overhead_sec,omitempty"`
+}
+
+// Outcome is everything a scenario replay asserts on: the plan the search
+// chose, the simulated training outcome, and the job's lifecycle history.
+type Outcome struct {
+	Status         string   `json:"status"`
+	Error          string   `json:"error,omitempty"`
+	PlanType       string   `json:"plan_type,omitempty"`
+	Workers        int      `json:"workers,omitempty"`
+	PS             int      `json:"ps,omitempty"`
+	Iterations     int      `json:"iterations,omitempty"`
+	PredTimeSec    float64  `json:"pred_time_sec,omitempty"`
+	PredCostUSD    float64  `json:"pred_cost_usd,omitempty"`
+	Feasible       bool     `json:"feasible"`
+	TrainingTime   float64  `json:"training_time,omitempty"`
+	FinalLoss      float64  `json:"final_loss,omitempty"`
+	CostUSD        float64  `json:"cost_usd,omitempty"`
+	Recoveries     int      `json:"recoveries,omitempty"`
+	LostIterations int      `json:"lost_iterations,omitempty"`
+	History        []string `json:"history"`
+}
+
+// Scenario is one golden end-to-end case, loaded from
+// testdata/scenarios/<name>.json.
+type Scenario struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Workload    string  `json:"workload"`
+	Sync        string  `json:"sync,omitempty"`       // "bsp"/"asp" override
+	Iterations  int     `json:"iterations,omitempty"` // iteration override
+	GoalTimeSec float64 `json:"goal_time_sec"`
+	LossTarget  float64 `json:"loss_target"`
+	Seed        int64   `json:"seed"`
+	Provisioner string  `json:"provisioner,omitempty"` // "", "cynthia", "marginalgain"
+
+	Fault    *FaultSpec    `json:"fault,omitempty"`
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
+
+	// Expect is the golden outcome; -update rewrites it.
+	Expect *Outcome `json:"expect,omitempty"`
+}
+
+// LoadScenario reads one scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := new(Scenario)
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// SaveScenario writes the scenario back (used by -update).
+func (s *Scenario) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunScenario replays the scenario through a fresh master + controller on
+// a manually driven provider clock — the same wiring the robustness
+// experiment uses — and returns the observed outcome. The replay is fully
+// deterministic: the simulator seed, the fault plan's seed, and the
+// provider clock all derive from the scenario file.
+func RunScenario(s *Scenario) (*Outcome, error) {
+	w, err := model.WorkloadByName(s.Workload)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Sync {
+	case "":
+	case "bsp":
+		w = w.WithSync(model.BSP)
+	case "asp":
+		w = w.WithSync(model.ASP)
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown sync mode %q", s.Name, s.Sync)
+	}
+	if s.Iterations > 0 {
+		w = w.WithIterations(s.Iterations)
+	}
+
+	master, err := cluster.NewMaster()
+	if err != nil {
+		return nil, err
+	}
+	now := new(float64)
+	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
+	if s.Fault != nil {
+		provider.SetFaultPlan(s.Fault.plan())
+	}
+	ctl := cluster.NewController(master, provider, nil, "")
+	ctl.AdvanceClock = func(dt float64) { *now += dt }
+	ctl.SimSeed = s.Seed
+	ctl.Recovery.Sleep = func(time.Duration) {}
+	if s.Recovery != nil {
+		ctl.Recovery.Disabled = s.Recovery.Disabled
+		ctl.Recovery.MaxRecoveries = s.Recovery.MaxRecoveries
+		ctl.Recovery.CheckpointEvery = s.Recovery.CheckpointEvery
+		ctl.Recovery.RestartOverheadSec = s.Recovery.RestartOverheadSec
+	}
+	switch s.Provisioner {
+	case "", "cynthia":
+	case "marginalgain":
+		ctl.UseProvisioner(baseline.MarginalGain{})
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown provisioner %q", s.Name, s.Provisioner)
+	}
+
+	job, err := ctl.Submit(w, plan.Goal{TimeSec: s.GoalTimeSec, LossTarget: s.LossTarget})
+	if job == nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Status:         string(job.Status),
+		Error:          job.Err,
+		PlanType:       job.Plan.Type.Name,
+		Workers:        job.Plan.Workers,
+		PS:             job.Plan.PS,
+		Iterations:     job.Plan.Iterations,
+		PredTimeSec:    job.Plan.PredTime,
+		PredCostUSD:    job.Plan.Cost,
+		Feasible:       job.Plan.Feasible,
+		TrainingTime:   job.TrainingTime,
+		FinalLoss:      job.FinalLoss,
+		CostUSD:        job.Cost,
+		Recoveries:     job.Recoveries,
+		LostIterations: job.LostIterations,
+	}
+	for _, st := range job.History {
+		out.History = append(out.History, string(st))
+	}
+	return out, nil
+}

@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race stress bench bench-obs coverage fuzz-smoke check
+.PHONY: all build vet test race stress bench bench-obs bench-json bench-check coverage fuzz-smoke check
+
+# The hot-path packages whose benchmarks form the committed perf
+# trajectory (BENCH_flow.json): the flow engine, the simulator built on
+# it, and the planner that calls the simulator thousands of times.
+BENCH_HOT = ./internal/flow ./internal/ddnnsim ./internal/plan
 
 all: check
 
@@ -32,6 +37,21 @@ bench:
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkSpanStartEnd' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/obs
+
+# bench-json refreshes the committed perf baseline: run the hot-path
+# benchmarks and serialize them into BENCH_flow.json. Regenerate (and
+# commit) after intentional perf-relevant changes.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out BENCH_flow.json
+
+# bench-check re-runs the same benchmarks and gates against the committed
+# baseline, benchstat-style: allocs/op must not rise, incremental vs
+# reference allocator ratios must not regress >10%, and the incremental
+# allocator must stay >=2x faster than the reference within this run.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out .bench_current.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_flow.json -current .bench_current.json -threshold 10 -min-speedup 2
+	@rm -f .bench_current.json
 
 # coverage enforces per-package statement-coverage floors on the search
 # core, the flow model, and the recovery state machine. Floors sit a few

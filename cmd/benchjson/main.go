@@ -1,0 +1,59 @@
+// Command benchjson turns `go test -bench` output into a committed JSON
+// baseline and compares runs against it, benchstat-style — the repo's
+// perf-trajectory harness (make bench-json / make bench-check).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/flow | benchjson parse -out BENCH_flow.json
+//	benchjson compare -baseline BENCH_flow.json -current .bench_current.json \
+//	    -threshold 10 -min-speedup 2
+//
+// The compare gates are chosen to survive hardware changes between the
+// machine that committed the baseline and the machine running CI:
+//
+//   - allocs/op must not increase versus the baseline (machine-independent)
+//   - every <name>/incremental sub-benchmark must beat its
+//     <name>/reference sibling by at least -min-speedup within the
+//     current run (same machine, same load — the tentpole acceptance)
+//   - ns/op must not regress by more than -threshold percent; when both
+//     runs contain the benchmark's /reference sibling the comparison uses
+//     the incremental/reference ratio (stable across machines), otherwise
+//     raw ns/op (meaningful when baseline and current share hardware)
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = runParse(os.Args[2:], os.Stdin, os.Stdout)
+	case "compare":
+		err = runCompare(os.Args[2:], os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	io.WriteString(os.Stderr, `usage:
+  benchjson parse   [-out FILE]                read "go test -bench" output on stdin, emit JSON
+  benchjson compare -baseline FILE -current FILE [-threshold PCT] [-min-speedup X]
+`)
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cynthia/internal/flow
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAllocate64Flows/incremental         	  448148	      2503 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllocate64Flows/reference           	   77682	     15186 ns/op	    7144 B/op	     140 allocs/op
+BenchmarkEngineThroughput/incremental-8      	    5331	    238421 ns/op	  104593 B/op	    2012 allocs/op
+BenchmarkEngineThroughput/reference-8        	    2034	    525839 ns/op	  144578 B/op	    5010 allocs/op
+PASS
+ok  	cynthia/internal/flow	10.271s
+`
+
+func TestParseBench(t *testing.T) {
+	f, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("header = %q/%q/%q", f.Goos, f.Goarch, f.CPU)
+	}
+	if len(f.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkAllocate64Flows/incremental" || b.Iters != 448148 ||
+		b.NsPerOp != 2503 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Pkg != "cynthia/internal/flow" {
+		t.Errorf("pkg = %q", b.Pkg)
+	}
+	// The -8 procs suffix strips into Procs so baselines from machines
+	// with different core counts compare under the same name.
+	p := f.Benchmarks[2]
+	if p.Name != "BenchmarkEngineThroughput/incremental" || p.Procs != 8 {
+		t.Errorf("procs-suffixed benchmark = %+v", p)
+	}
+}
+
+// TestParseBenchMergesRepeatedSamples: with -count=N go test prints the
+// same benchmark N times; parse must collapse them to the per-metric min.
+func TestParseBenchMergesRepeatedSamples(t *testing.T) {
+	const repeated = `pkg: cynthia/internal/flow
+BenchmarkHot/incremental-8   1000   300 ns/op   16 B/op   2 allocs/op
+BenchmarkHot/incremental-8   2000   250 ns/op   16 B/op   3 allocs/op
+BenchmarkHot/incremental-8   1500   280 ns/op    8 B/op   2 allocs/op
+PASS
+`
+	f, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks after merge, want 1", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	if b.NsPerOp != 250 || b.Iters != 2000 || b.BytesPerOp != 8 || b.AllocsPerOp != 2 {
+		t.Errorf("merged benchmark = %+v, want min of each metric (250 ns, iters 2000, 8 B, 2 allocs)", b)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func mkFile(ns map[string][2]float64) *File {
+	f := &File{Version: 1}
+	for name, v := range ns {
+		f.Benchmarks = append(f.Benchmarks, Benchmark{Name: name, Iters: 1, NsPerOp: v[0], AllocsPerOp: v[1]})
+	}
+	return f
+}
+
+func TestCompareGates(t *testing.T) {
+	baseline := mkFile(map[string][2]float64{
+		"BenchmarkX/incremental": {100, 0},
+		"BenchmarkX/reference":   {400, 140},
+	})
+
+	// Clean run: same ratio, allocs flat, speedup 4x.
+	_, fails := compare(baseline, mkFile(map[string][2]float64{
+		"BenchmarkX/incremental": {110, 0},
+		"BenchmarkX/reference":   {440, 140},
+	}), 10, 2)
+	if len(fails) != 0 {
+		t.Errorf("clean run failed gates: %v", fails)
+	}
+
+	// Allocation regression.
+	_, fails = compare(baseline, mkFile(map[string][2]float64{
+		"BenchmarkX/incremental": {100, 3},
+		"BenchmarkX/reference":   {400, 140},
+	}), 10, 2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Errorf("alloc regression not caught: %v", fails)
+	}
+
+	// Ratio regression: incremental slowed 2x relative to reference even
+	// though the machine is uniformly faster (raw ns below baseline).
+	_, fails = compare(baseline, mkFile(map[string][2]float64{
+		"BenchmarkX/incremental": {90, 0},
+		"BenchmarkX/reference":   {180, 140},
+	}), 10, 0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "relative to") {
+		t.Errorf("ratio regression not caught: %v", fails)
+	}
+
+	// Speedup floor: reference only 1.5x slower.
+	_, fails = compare(baseline, mkFile(map[string][2]float64{
+		"BenchmarkX/incremental": {100, 0},
+		"BenchmarkX/reference":   {150, 140},
+	}), 1000, 2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "faster than") {
+		t.Errorf("speedup floor not enforced: %v", fails)
+	}
+
+	// Raw ns gate for benchmarks without a reference sibling.
+	soloBase := mkFile(map[string][2]float64{"BenchmarkY": {100, 0}})
+	_, fails = compare(soloBase, mkFile(map[string][2]float64{"BenchmarkY": {150, 0}}), 10, 2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "regressed") {
+		t.Errorf("raw ns regression not caught: %v", fails)
+	}
+
+	// New benchmarks (absent from the baseline) never fail the gates.
+	_, fails = compare(soloBase, mkFile(map[string][2]float64{
+		"BenchmarkY": {100, 0},
+		"BenchmarkZ": {9999, 50},
+	}), 10, 2)
+	if len(fails) != 0 {
+		t.Errorf("new benchmark tripped gates: %v", fails)
+	}
+}

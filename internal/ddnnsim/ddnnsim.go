@@ -117,6 +117,11 @@ type Options struct {
 	// CPU/NIC utilization (the measured Eq. 6-7 demand/capacity terms),
 	// training time, iteration count, and engine event counters.
 	Metrics *obs.Registry
+	// AllocMode selects the flow engine's max-min allocator (default
+	// flow.AllocIncremental). The differential tests run the same
+	// simulation under AllocReference and AllocVerify to prove the
+	// incremental allocator bit-exact.
+	AllocMode flow.AllocMode
 }
 
 // IterRecord is one iteration's timing breakdown: for BSP a training
@@ -346,6 +351,7 @@ func newSim(w *model.Workload, cluster ClusterSpec, iters int, opt Options) *sim
 		nWk:     cluster.NumWorkers(),
 		nPS:     cluster.NumPS(),
 	}
+	s.eng.SetAllocMode(opt.AllocMode)
 	s.shardMB = w.GparamMB / float64(s.nPS)
 	s.psCPUPerMB = w.PSCPUPerMB
 	if opt.DisablePSCPU {

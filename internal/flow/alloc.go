@@ -1,0 +1,359 @@
+package flow
+
+// Incremental progressive-filling max-min allocation.
+//
+// Max-min fairness decomposes over connected components of the bipartite
+// flow/resource graph: freezing a bottleneck's flows only ever touches
+// resources on those flows' paths, so the waterfill of one component never
+// reads or writes another. The engine exploits that by keeping, per
+// resource, the list of active flows crossing it (Resource.flows) and a
+// dirty set seeded by every Submit and completion. An allocation step
+// with an empty dirty set reuses the previous rates verbatim — recomputing
+// an unchanged max-min allocation is idempotent, so the skip is bit-exact.
+// Otherwise a BFS closure from the dirty resources finds the affected
+// components and waterfill runs over just those, with scan order inherited
+// from Engine.active so the bottleneck tie-break sequence matches what the
+// full recompute would have produced on the same component.
+//
+// Everything on this path is allocation-free in steady state: epoch stamps
+// (Resource.visit / Flow.visit) replace membership maps and the queue /
+// affected buffers live on the Engine and are reused across events.
+//
+// The pre-incremental full recompute survives as allocReference. It is
+// both the benchmark baseline and the correctness oracle: AllocVerify runs
+// it after every incremental allocation and panics unless every flow rate
+// and resource aggregate matches bit for bit (math.Float64bits equality,
+// not a tolerance) — the property the simtest golden corpus depends on.
+//
+// Known theoretical gap, accepted deliberately: the bottleneck scan keeps
+// the 1e-15 relative tie-break of the original allocator, so three or more
+// fair shares agreeing within ~2e-15 across *different* components could in
+// principle freeze in a different order than the global scan. No generated
+// or golden workload exhibits this (the differential tests would fail),
+// and within a component the orders are provably identical.
+
+import (
+	"fmt"
+	"math"
+)
+
+// AllocMode selects which max-min allocator the engine runs.
+type AllocMode int
+
+const (
+	// AllocIncremental (the default) re-waterfills only the connected
+	// components whose flow membership changed since the last step.
+	AllocIncremental AllocMode = iota
+	// AllocReference runs the pre-incremental full recompute on every
+	// step — the benchmark baseline and differential-testing oracle.
+	AllocReference
+	// AllocVerify runs the incremental allocator, then the reference, and
+	// panics on any bitwise rate disagreement. Test-only: it allocates.
+	AllocVerify
+)
+
+// String names the mode for diagnostics and benchmark labels.
+func (m AllocMode) String() string {
+	switch m {
+	case AllocIncremental:
+		return "incremental"
+	case AllocReference:
+		return "reference"
+	case AllocVerify:
+		return "verify"
+	default:
+		return fmt.Sprintf("AllocMode(%d)", int(m))
+	}
+}
+
+// SetAllocMode selects the allocator implementation. Call before Run;
+// switching modes mid-run is safe but makes benchmark numbers meaningless.
+func (e *Engine) SetAllocMode(m AllocMode) { e.mode = m }
+
+// AllocMode returns the engine's current allocator mode.
+func (e *Engine) AllocMode() AllocMode { return e.mode }
+
+// allocSizeBounds buckets the affected-flow count of each recompute
+// (le semantics; one implicit overflow bucket follows). allocSizeBuckets
+// mirrors the bounds as float64 observation values for obs export, with a
+// final representative value that lands in the +Inf bucket.
+var (
+	allocSizeBounds  = [...]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	allocSizeBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+)
+
+// allocate dispatches one allocation step to the configured allocator.
+func (e *Engine) allocate() {
+	switch e.mode {
+	case AllocReference:
+		e.dirty = e.dirty[:0]
+		e.allocReference()
+		e.noteRecompute(len(e.active))
+	case AllocVerify:
+		e.allocIncremental()
+		e.verifyAllocation()
+	default:
+		e.allocIncremental()
+	}
+}
+
+// allocIncremental re-runs waterfilling over the connected components
+// reachable from the dirty resources, or skips entirely when no flow
+// membership changed. Steady-state cost is zero allocations.
+func (e *Engine) allocIncremental() {
+	if len(e.dirty) == 0 {
+		e.stats.AllocSkipped++
+		return
+	}
+	e.allocEpoch++
+	ep := e.allocEpoch
+
+	// Seed the closure with the dirty resources (deduplicated by stamp).
+	queue := e.queue[:0]
+	for _, r := range e.dirty {
+		if r.visit != ep {
+			r.visit = ep
+			queue = append(queue, r)
+		}
+	}
+	e.dirty = e.dirty[:0]
+
+	// BFS over the bipartite graph: resource -> crossing flows -> their
+	// paths. On exit every resource and flow in the affected components
+	// carries the current epoch stamp.
+	for i := 0; i < len(queue); i++ {
+		for _, f := range queue[i].flows {
+			if f.visit == ep {
+				continue
+			}
+			f.visit = ep
+			for _, r := range f.path {
+				if r.visit != ep {
+					r.visit = ep
+					queue = append(queue, r)
+				}
+			}
+		}
+	}
+	e.queue = queue
+
+	// Collect affected flows by filtering e.active, preserving submission
+	// order — the scan order the reference allocator's tie-break uses.
+	aff := e.affected[:0]
+	for _, f := range e.active {
+		if f.visit == ep {
+			aff = append(aff, f)
+		}
+	}
+	e.affected = aff
+
+	n := len(aff)
+	e.waterfill(queue, aff)
+	e.noteRecompute(n)
+}
+
+// waterfill runs progressive filling restricted to the given resources and
+// flows (the affected components, or everything on a first step). It is
+// the same algorithm as allocReference with the map-backed scratch state
+// moved onto the Resource structs: repeatedly find the resource with the
+// smallest per-flow fair share, freeze its flows at that share, charge
+// their paths, and continue until every flow is frozen.
+//
+// flows is consumed destructively (it doubles as the unfrozen worklist).
+func (e *Engine) waterfill(resources []*Resource, flows []*Flow) {
+	for _, r := range resources {
+		r.remaining = r.capacity
+		r.nflows = 0
+		r.lastRate = 0
+	}
+	for _, f := range flows {
+		f.rate = 0
+		for _, r := range f.path {
+			r.nflows++
+		}
+	}
+	unfrozen := flows
+	for len(unfrozen) > 0 {
+		// Bottleneck = resource with the smallest per-flow fair share.
+		var bottleneck *Resource
+		best := math.Inf(1)
+		// Deterministic iteration: scan flows' paths in order.
+		for _, f := range unfrozen {
+			for _, r := range f.path {
+				if r.nflows == 0 {
+					continue
+				}
+				share := r.remaining / float64(r.nflows)
+				if share < best-1e-15 {
+					best = share
+					bottleneck = r
+				}
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the fair
+		// share; charge that rate to all resources on their paths.
+		kept := unfrozen[:0]
+		for _, f := range unfrozen {
+			crosses := false
+			for _, r := range f.path {
+				if r == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				kept = append(kept, f)
+				continue
+			}
+			f.rate = best
+			for _, r := range f.path {
+				r.remaining -= best
+				if r.remaining < 0 {
+					r.remaining = 0
+				}
+				r.nflows--
+			}
+		}
+		unfrozen = kept
+	}
+	for _, r := range resources {
+		r.lastRate = r.capacity - r.remaining
+		if r.lastRate < 0 {
+			r.lastRate = 0
+		}
+	}
+}
+
+// allocReference is the pre-incremental allocator, kept verbatim: a full
+// map-backed recompute over every active flow. It writes only f.rate and
+// r.lastRate, so running it never corrupts the incremental bookkeeping
+// (remaining/nflows are re-initialized by every waterfill).
+func (e *Engine) allocReference() {
+	type resState struct {
+		res       *Resource
+		remaining float64 // capacity not yet assigned
+		nflows    int     // unfrozen flows through this resource
+	}
+	states := map[*Resource]*resState{}
+	flowResources := make(map[*Flow][]*resState, len(e.active))
+	for _, f := range e.active {
+		f.rate = 0
+		for _, r := range f.path {
+			st := states[r]
+			if st == nil {
+				st = &resState{res: r, remaining: r.capacity}
+				states[r] = st
+			}
+			st.nflows++
+			flowResources[f] = append(flowResources[f], st)
+		}
+	}
+	for r := range states {
+		r.lastRate = 0
+	}
+	unfrozen := make([]*Flow, len(e.active))
+	copy(unfrozen, e.active)
+	for len(unfrozen) > 0 {
+		// Bottleneck = resource with the smallest per-flow fair share.
+		var bottleneck *resState
+		best := math.Inf(1)
+		// Deterministic iteration: scan flows' paths in order.
+		for _, f := range unfrozen {
+			for _, st := range flowResources[f] {
+				if st.nflows == 0 {
+					continue
+				}
+				share := st.remaining / float64(st.nflows)
+				if share < best-1e-15 {
+					best = share
+					bottleneck = st
+				}
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the fair
+		// share; charge that rate to all resources on their paths.
+		kept := unfrozen[:0]
+		for _, f := range unfrozen {
+			crosses := false
+			for _, st := range flowResources[f] {
+				if st == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				kept = append(kept, f)
+				continue
+			}
+			f.rate = best
+			for _, st := range flowResources[f] {
+				st.remaining -= best
+				if st.remaining < 0 {
+					st.remaining = 0
+				}
+				st.nflows--
+			}
+		}
+		unfrozen = kept
+	}
+	for r, st := range states {
+		r.lastRate = r.capacity - st.remaining
+		if r.lastRate < 0 {
+			r.lastRate = 0
+		}
+	}
+}
+
+// verifyAllocation snapshots the incremental allocator's output, re-runs
+// the reference allocator over the full active set, and panics on any
+// bitwise disagreement. Rates are compared with math.Float64bits — exact
+// equality, no tolerance — because the golden corpus depends on the two
+// allocators being interchangeable to the last ulp. Only resources on
+// active paths are compared: the reference never touches resources whose
+// last flow completed, while the incremental allocator zeroes them (their
+// lastRate is dead either way — advanceTo visits active paths only).
+func (e *Engine) verifyAllocation() {
+	rates := make([]float64, len(e.active))
+	resRates := make(map[*Resource]float64)
+	for i, f := range e.active {
+		rates[i] = f.rate
+		for _, r := range f.path {
+			if _, ok := resRates[r]; !ok {
+				resRates[r] = r.lastRate
+			}
+		}
+	}
+	e.allocReference()
+	for i, f := range e.active {
+		if math.Float64bits(f.rate) != math.Float64bits(rates[i]) {
+			panic(fmt.Sprintf(
+				"flow: AllocVerify mismatch at t=%g: flow %q incremental rate %v (%#016x) != reference %v (%#016x)",
+				e.now, f.label, rates[i], math.Float64bits(rates[i]), f.rate, math.Float64bits(f.rate)))
+		}
+	}
+	for r, inc := range resRates {
+		if math.Float64bits(r.lastRate) != math.Float64bits(inc) {
+			panic(fmt.Sprintf(
+				"flow: AllocVerify mismatch at t=%g: resource %q incremental lastRate %v (%#016x) != reference %v (%#016x)",
+				e.now, r.name, inc, math.Float64bits(inc), r.lastRate, math.Float64bits(r.lastRate)))
+		}
+	}
+}
+
+// noteRecompute records one allocator recompute over n affected flows in
+// the engine stats and the recompute-size histogram buckets.
+func (e *Engine) noteRecompute(n int) {
+	e.stats.AllocRecomputes++
+	e.stats.AllocAffectedFlows += int64(n)
+	i := 0
+	for i < len(allocSizeBounds) && n > allocSizeBounds[i] {
+		i++
+	}
+	e.allocSizes[i]++
+}

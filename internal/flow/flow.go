@@ -14,17 +14,30 @@
 // captures, without closed-form shortcuts, the contention effects the
 // Cynthia paper measures: parameter-server NIC saturation, PS CPU
 // saturation, and idle worker CPUs behind a bottleneck.
+//
+// The allocation is maintained incrementally (see alloc.go): an arrival or
+// completion re-runs waterfilling only over the connected component of the
+// flow/resource graph it touches, and steps whose flow set did not change
+// skip the recomputation entirely. The pre-incremental full recompute is
+// kept as a reference allocator; AllocVerify cross-checks the two bit for
+// bit on every recompute.
 package flow
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cynthia/internal/obs"
 )
 
-// Resource is a finite-capacity service point shared by flows.
+// Resource is a finite-capacity service point shared by flows. A Resource
+// belongs to at most one Engine at a time: the engine writes its
+// accounting and allocator bookkeeping without synchronization (this was
+// already the contract — lastRate and busyIntegral have always been
+// engine-written).
 type Resource struct {
 	name     string
 	capacity float64 // service units per second (> 0)
@@ -33,6 +46,13 @@ type Resource struct {
 	busyIntegral float64 // ∫ allocated-rate dt, in service units
 	lastRate     float64 // total rate allocated at the current instant
 	series       *Series // optional time series of allocated rate
+
+	// Allocator bookkeeping, maintained by the Engine (alloc.go).
+	flows     []*Flow // active flows crossing, one entry per path occurrence
+	visit     int64   // allocation-epoch stamp: in the current affected set
+	adv       int64   // advance-epoch stamp: accounting done for this step
+	remaining float64 // waterfill scratch: capacity not yet assigned
+	nflows    int     // waterfill scratch: unfrozen flows crossing
 }
 
 // NewResource returns a resource with the given name and capacity
@@ -54,13 +74,47 @@ func (r *Resource) Capacity() float64 { return r.capacity }
 // units. Dividing by (capacity × elapsed time) yields mean utilization.
 func (r *Resource) BusyIntegral() float64 { return r.busyIntegral }
 
+// utilClampTolerance separates genuine accounting drift from the ulp-level
+// float noise of summing many per-step busy intervals: ratios within it of
+// 1 clamp silently as before, anything above is counted as a clamp event.
+const utilClampTolerance = 1e-9
+
+var (
+	utilClamps   atomic.Int64
+	clampOnce    sync.Once
+	clampCounter *obs.Counter
+)
+
+// noteUtilizationClamp records one masked accounting-drift event, both in
+// the package counter (UtilizationClamps) and in the default obs registry.
+func noteUtilizationClamp() {
+	utilClamps.Add(1)
+	clampOnce.Do(func() {
+		clampCounter = obs.Default().Counter("cynthia_flow_util_clamp_total",
+			"Resource.Utilization ratios above 1 that were clamped (accounting drift)")
+	})
+	clampCounter.Inc()
+}
+
+// UtilizationClamps returns the process-wide count of Utilization calls
+// whose busy/capacity ratio exceeded 1 by more than the float-noise
+// tolerance and was clamped. Such clamps mask accounting drift in the
+// engine; the golden corpus asserts the count stays zero.
+func UtilizationClamps() int64 { return utilClamps.Load() }
+
 // Utilization returns the mean utilization of the resource over [0, now],
-// in [0, 1]. It returns 0 if now is not positive.
+// in [0, 1]. It returns 0 if now is not positive. Ratios above 1 indicate
+// accounting drift: they are still clamped (preserving the historical
+// return value), but recorded via UtilizationClamps and the
+// cynthia_flow_util_clamp_total counter instead of being silently masked.
 func (r *Resource) Utilization(now float64) float64 {
 	if now <= 0 {
 		return 0
 	}
 	u := r.busyIntegral / (r.capacity * now)
+	if u > 1+utilClampTolerance {
+		noteUtilizationClamp()
+	}
 	return math.Min(u, 1)
 }
 
@@ -82,6 +136,7 @@ type Flow struct {
 	done      func(now float64)
 	started   float64
 	engine    *Engine
+	visit     int64 // allocation-epoch stamp: in the current affected set
 }
 
 // Label returns the diagnostic label given at submission.
@@ -101,18 +156,41 @@ type Engine struct {
 	timers  timerHeap
 	seq     int // tie-break for deterministic timer ordering
 	stopped bool
+	mode    AllocMode
+
+	// Incremental-allocator state: dirty seeds the next recompute with the
+	// resources whose flow membership changed; queue/affected/finScratch
+	// are buffers reused across events so the steady-state event loop
+	// allocates nothing.
+	allocEpoch int64
+	advEpoch   int64
+	dirty      []*Resource
+	queue      []*Resource
+	affected   []*Flow
+	finScratch []*Flow
+	allocSizes [len(allocSizeBounds) + 1]int64 // affected flows per recompute
 
 	observer func(f *Flow, start, end float64)
 	stats    EngineStats
 }
 
 // EngineStats count the engine's own work, for observability: how many
-// flows ran, how many timers fired, and how many event steps (each step
-// recomputes the max-min allocation) the run took.
+// flows ran, how many timers fired, how many event steps the run took, and
+// how much of the max-min allocation work the incremental allocator
+// actually performed versus skipped.
 type EngineStats struct {
 	FlowsCompleted int64
 	TimersFired    int64
 	Steps          int64
+	// AllocRecomputes counts allocator runs that re-waterfilled at least
+	// one affected component; AllocSkipped counts steps whose flow set was
+	// unchanged, making the previous allocation provably still valid.
+	AllocRecomputes int64
+	AllocSkipped    int64
+	// AllocAffectedFlows totals the flows re-waterfilled across recomputes;
+	// divided by AllocRecomputes it yields the mean affected-component
+	// size, versus ActiveFlows for the full-recompute cost it replaced.
+	AllocAffectedFlows int64
 }
 
 // Stats returns the engine's cumulative event counts.
@@ -158,6 +236,10 @@ func (e *Engine) Submit(label string, size float64, path []*Resource, done func(
 		return f
 	}
 	e.active = append(e.active, f)
+	for _, r := range path {
+		r.flows = append(r.flows, f)
+	}
+	e.dirty = append(e.dirty, path...)
 	return f
 }
 
@@ -235,15 +317,16 @@ func (e *Engine) advanceTo(t float64) {
 	if dt <= 0 {
 		return
 	}
-	seen := map[*Resource]bool{}
+	e.advEpoch++
+	ep := e.advEpoch
 	for _, f := range e.active {
 		f.remaining -= f.rate * dt
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
 		for _, r := range f.path {
-			if !seen[r] {
-				seen[r] = true
+			if r.adv != ep {
+				r.adv = ep
 				r.busyIntegral += r.lastRate * dt
 				if r.series != nil {
 					r.series.Accumulate(e.now, t, r.lastRate)
@@ -260,7 +343,7 @@ func (e *Engine) advanceTo(t float64) {
 // This keeps the event loop from stalling when the residual time drops
 // below the floating-point resolution of the clock.
 func (e *Engine) completeFinished() {
-	var finished []*Flow
+	finished := e.finScratch[:0]
 	kept := e.active[:0]
 	for _, f := range e.active {
 		eps := 1e-12 + 1e-12*f.size + 1e-9*f.rate
@@ -273,12 +356,38 @@ func (e *Engine) completeFinished() {
 	}
 	e.active = kept
 	for _, f := range finished {
+		for _, r := range f.path {
+			r.dropFlow(f)
+		}
+		e.dirty = append(e.dirty, f.path...)
+	}
+	for _, f := range finished {
 		e.stats.FlowsCompleted++
 		if e.observer != nil {
 			e.observer(f, f.started, e.now)
 		}
 		if f.done != nil {
 			f.done(e.now)
+		}
+	}
+	for i := range finished {
+		finished[i] = nil // release for GC; the scratch buffer is reused
+	}
+	e.finScratch = finished[:0]
+}
+
+// dropFlow removes one occurrence of f from the resource's active-flow
+// list (a path may cross the same resource more than once, so exactly one
+// entry is removed per call). Order is not preserved: the allocator derives
+// its scan order from Engine.active, never from r.flows.
+func (r *Resource) dropFlow(f *Flow) {
+	for i, g := range r.flows {
+		if g == f {
+			last := len(r.flows) - 1
+			r.flows[i] = r.flows[last]
+			r.flows[last] = nil
+			r.flows = r.flows[:last]
+			return
 		}
 	}
 }
@@ -289,88 +398,6 @@ func (e *Engine) fireTimers() {
 		t := e.timers.pop()
 		e.stats.TimersFired++
 		t.fn(e.now)
-	}
-}
-
-// allocate computes the max-min fair rate for every active flow via
-// progressive filling (waterfilling): repeatedly saturate the most
-// constrained resource, freeze its flows, and continue with the rest.
-func (e *Engine) allocate() {
-	type resState struct {
-		res       *Resource
-		remaining float64 // capacity not yet assigned
-		nflows    int     // unfrozen flows through this resource
-	}
-	states := map[*Resource]*resState{}
-	flowResources := make(map[*Flow][]*resState, len(e.active))
-	for _, f := range e.active {
-		f.rate = 0
-		for _, r := range f.path {
-			st := states[r]
-			if st == nil {
-				st = &resState{res: r, remaining: r.capacity}
-				states[r] = st
-			}
-			st.nflows++
-			flowResources[f] = append(flowResources[f], st)
-		}
-	}
-	for r := range states {
-		r.lastRate = 0
-	}
-	unfrozen := make([]*Flow, len(e.active))
-	copy(unfrozen, e.active)
-	for len(unfrozen) > 0 {
-		// Bottleneck = resource with the smallest per-flow fair share.
-		var bottleneck *resState
-		best := math.Inf(1)
-		// Deterministic iteration: scan flows' paths in order.
-		for _, f := range unfrozen {
-			for _, st := range flowResources[f] {
-				if st.nflows == 0 {
-					continue
-				}
-				share := st.remaining / float64(st.nflows)
-				if share < best-1e-15 {
-					best = share
-					bottleneck = st
-				}
-			}
-		}
-		if bottleneck == nil {
-			break
-		}
-		// Freeze every unfrozen flow crossing the bottleneck at the fair
-		// share; charge that rate to all resources on their paths.
-		kept := unfrozen[:0]
-		for _, f := range unfrozen {
-			crosses := false
-			for _, st := range flowResources[f] {
-				if st == bottleneck {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
-				kept = append(kept, f)
-				continue
-			}
-			f.rate = best
-			for _, st := range flowResources[f] {
-				st.remaining -= best
-				if st.remaining < 0 {
-					st.remaining = 0
-				}
-				st.nflows--
-			}
-		}
-		unfrozen = kept
-	}
-	for r, st := range states {
-		r.lastRate = r.capacity - st.remaining
-		if r.lastRate < 0 {
-			r.lastRate = 0
-		}
 	}
 }
 
@@ -565,5 +592,14 @@ func ExportEngine(reg *obs.Registry, prefix string, e *Engine) {
 	st := e.Stats()
 	reg.Gauge(prefix+"_flows_total", "flows completed by the simulation engine").Set(float64(st.FlowsCompleted))
 	reg.Gauge(prefix+"_timers_total", "timers fired by the simulation engine").Set(float64(st.TimersFired))
-	reg.Gauge(prefix+"_steps_total", "event steps (allocation recomputations) taken by the engine").Set(float64(st.Steps))
+	reg.Gauge(prefix+"_steps_total", "event steps taken by the engine").Set(float64(st.Steps))
+	reg.Gauge(prefix+"_alloc_recomputes_total", "allocator runs that re-waterfilled an affected component").Set(float64(st.AllocRecomputes))
+	reg.Gauge(prefix+"_alloc_skipped_total", "event steps that reused the previous allocation unchanged").Set(float64(st.AllocSkipped))
+	reg.Gauge(prefix+"_alloc_affected_flows_total", "flows re-waterfilled across all allocator recomputes").Set(float64(st.AllocAffectedFlows))
+	h := reg.Histogram(prefix+"_alloc_affected_flows", "affected flows per allocator recompute", allocSizeBuckets[:len(allocSizeBounds)])
+	for i, n := range e.allocSizes {
+		if n > 0 {
+			h.ObserveN(allocSizeBuckets[i], n)
+		}
+	}
 }

@@ -370,34 +370,127 @@ func TestSortedRates(t *testing.T) {
 	}
 }
 
+// benchModes are the allocator variants every hot-path benchmark reports:
+// "reference" is the pre-incremental full recompute (the baseline the
+// bench harness compares against), "incremental" the default allocator.
+var benchModes = []AllocMode{AllocIncremental, AllocReference}
+
+// BenchmarkAllocate64Flows measures one allocation recompute over a single
+// 64-flow, 8-resource connected component (a ring, so every flow is in one
+// bottleneck group). Each iteration dirties a resource so the incremental
+// allocator actually re-waterfills instead of skipping.
 func BenchmarkAllocate64Flows(b *testing.B) {
-	e := NewEngine()
-	resources := make([]*Resource, 8)
-	for i := range resources {
-		resources[i] = NewResource("r", 100)
-	}
-	for i := 0; i < 64; i++ {
-		e.Submit("f", 1e18, []*Resource{resources[i%8], resources[(i+1)%8]}, nil)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.allocate()
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			e := NewEngine()
+			e.SetAllocMode(mode)
+			resources := make([]*Resource, 8)
+			for i := range resources {
+				resources[i] = NewResource("r", 100)
+			}
+			for i := 0; i < 64; i++ {
+				e.Submit("f", 1e18, []*Resource{resources[i%8], resources[(i+1)%8]}, nil)
+			}
+			e.allocate() // warm scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.dirty = append(e.dirty, resources[i%8])
+				e.allocate()
+			}
+		})
 	}
 }
 
-func BenchmarkEngineThroughput(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		r := NewResource("r", 100)
-		var spawn func(now float64)
-		count := 0
-		spawn = func(now float64) {
-			count++
-			if count < 1000 {
-				e.Submit("f", 1, []*Resource{r}, spawn)
+// BenchmarkAllocateSparse measures the component-local win: 128 flows in
+// 16 disjoint 2-resource components, with one component dirtied per
+// recompute. The reference allocator pays for all 128 flows every time;
+// the incremental allocator re-waterfills 8.
+func BenchmarkAllocateSparse(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			e := NewEngine()
+			e.SetAllocMode(mode)
+			const groups = 16
+			resources := make([]*Resource, 2*groups)
+			for i := range resources {
+				resources[i] = NewResource("r", 100)
 			}
-		}
-		e.Submit("f", 1, []*Resource{r}, spawn)
-		e.Run(0)
+			for i := 0; i < 128; i++ {
+				g := i % groups
+				e.Submit("f", 1e18, []*Resource{resources[2*g], resources[2*g+1]}, nil)
+			}
+			e.allocate()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.dirty = append(e.dirty, resources[2*(i%groups)])
+				e.allocate()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures end-to-end event-loop cost: 1000
+// sequential flows churned through one resource (every event changes the
+// flow set, so nothing is skippable).
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine()
+				e.SetAllocMode(mode)
+				r := NewResource("r", 100)
+				var spawn func(now float64)
+				count := 0
+				spawn = func(now float64) {
+					count++
+					if count < 1000 {
+						e.Submit("f", 1, []*Resource{r}, spawn)
+					}
+				}
+				e.Submit("f", 1, []*Resource{r}, spawn)
+				e.Run(0)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineLargeScenario is the acceptance benchmark: a sustained
+// 64-concurrent-flow load over 16 resources (8 worker NICs x 8 PS NICs,
+// the ddnnsim transfer topology), with every completion respawning a flow
+// on a rotated path — 2000 churn events per engine run.
+func BenchmarkEngineLargeScenario(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := NewEngine()
+				e.SetAllocMode(mode)
+				wk := make([]*Resource, 8)
+				ps := make([]*Resource, 8)
+				for j := range wk {
+					wk[j] = NewResource("wk", 100)
+					ps[j] = NewResource("ps", 120)
+				}
+				remaining := 2000
+				var spawn func(j, k int) func(now float64)
+				spawn = func(j, k int) func(now float64) {
+					return func(now float64) {
+						remaining--
+						if remaining > 0 {
+							nj, nk := (j+1)%8, (k+3)%8
+							e.Submit("t", 1+float64((j+k)%7), []*Resource{wk[nj], ps[nk]}, spawn(nj, nk))
+						}
+					}
+				}
+				for f := 0; f < 64; f++ {
+					j, k := f%8, (f/8)%8
+					e.Submit("t", 1+float64((j+k)%7), []*Resource{wk[j], ps[k]}, spawn(j, k))
+				}
+				e.Run(0)
+			}
+		})
 	}
 }

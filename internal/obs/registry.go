@@ -134,6 +134,34 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records the value n times in one call — the bulk path for
+// components that accumulate bucket counts internally (e.g. the flow
+// engine's recompute sizes) and replay them into a registry at export
+// time. n <= 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -79,6 +79,43 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveN pins the bulk path: ObserveN(v, n) is equivalent
+// to n calls of Observe(v) for buckets, count, and sum, and non-positive
+// counts are no-ops.
+func TestHistogramObserveN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bulk", "", []float64{1, 2, 4})
+	h.ObserveN(2, 5)   // (1,2] bucket (le semantics: equal lands in it)
+	h.ObserveN(9, 3)   // +Inf bucket
+	h.ObserveN(1, 0)   // no-op
+	h.ObserveN(1, -10) // no-op
+	want := []int64{0, 5, 0, 3}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if got := h.Sum(); got != 2*5+9*3 {
+		t.Errorf("sum = %v, want 37", got)
+	}
+	// Equivalence with the unit path.
+	u := r.Histogram("unit", "", []float64{1, 2, 4})
+	for i := 0; i < 5; i++ {
+		u.Observe(2)
+	}
+	for i := 0; i < 3; i++ {
+		u.Observe(9)
+	}
+	for i := range h.buckets {
+		if h.buckets[i].Load() != u.buckets[i].Load() {
+			t.Errorf("bucket %d: ObserveN %d != repeated Observe %d", i, h.buckets[i].Load(), u.buckets[i].Load())
+		}
+	}
+}
+
 func TestHistogramEmptyQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("empty", "", []float64{1})

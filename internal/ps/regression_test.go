@@ -1,0 +1,174 @@
+package ps
+
+// Regression tests for the hot-path bug sweep: Close draining handler
+// goroutines, Listen refusing to double-bind, and the optimizer length
+// guards that replaced the index-out-of-range panic in Adam.Apply.
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cynthia/internal/model"
+	"cynthia/internal/obs"
+)
+
+// TestCloseWaitsForHandlers pins the Close contract: when Close returns,
+// every handle goroutine has run its cleanup, so the connection gauge and
+// the server's connection map are both empty. Before the WaitGroup fix,
+// Close returned while handlers were still tearing down, which is exactly
+// what made -race -count=3 teardown flaky.
+func TestCloseWaitsForHandlers(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := NewServer(ServerConfig{Init: []float64{1, 2, 3}, Sync: model.ASP, Workers: 4, LR: 0.1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := writeFrame(c, msgHello, encodeHello(i, 3)); err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	// Wait until all four handlers registered (the gauge counts them).
+	gauge := reg.Gauge("cynthia_ps_worker_connections", "")
+	deadline := time.Now().Add(5 * time.Second)
+	for gauge.Value() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handlers never registered: gauge = %v", gauge.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.Close()
+	if v := gauge.Value(); v != 0 {
+		t.Errorf("connection gauge = %v after Close, want 0 (handlers not drained)", v)
+	}
+	srv.mu.Lock()
+	left := len(srv.conns)
+	srv.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d connections still registered after Close, want 0", left)
+	}
+}
+
+// TestListenTwiceErrors pins that a second Listen no longer silently
+// replaces the listener (orphaning the first accept loop), and that a
+// closed server refuses to listen.
+func TestListenTwiceErrors(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Init: []float64{1}, Sync: model.ASP, Workers: 1, LR: 0.1, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("second Listen succeeded, want already-listening error")
+	} else if !strings.Contains(err.Error(), addr) {
+		t.Errorf("already-listening error %q does not name the bound address %s", err, addr)
+	}
+	// The original listener must still be serving after the failed rebind.
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("first listener dead after failed second Listen: %v", err)
+	}
+	c.Close()
+	srv.Close()
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen after Close succeeded, want error")
+	}
+}
+
+// TestAdamGradientLengthGuard pins the fix for the index-out-of-range
+// panic: moment state is sized by the first Apply, and a later call with a
+// different vector length must return an error, not panic.
+func TestAdamGradientLengthGuard(t *testing.T) {
+	a := &Adam{LR: 0.1}
+	if err := a.Apply([]float64{1, 2}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply([]float64{1, 2, 3}, []float64{1, 1, 1}); err == nil {
+		t.Error("Adam accepted a longer vector after sizing state, want error")
+	}
+	if err := a.Apply([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("Adam accepted grad shorter than params, want error")
+	}
+	// The guarded calls must not have corrupted state for the right shape.
+	if err := a.Apply([]float64{1, 2}, []float64{1, 1}); err != nil {
+		t.Errorf("well-formed Apply after rejected ones failed: %v", err)
+	}
+}
+
+// TestAdamApplyDoesNotMutateDefaults pins that Apply resolves the β/ε
+// defaults locally instead of writing them back into the configuration.
+func TestAdamApplyDoesNotMutateDefaults(t *testing.T) {
+	a := &Adam{LR: 0.1}
+	if err := a.Apply([]float64{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Beta1 != 0 || a.Beta2 != 0 || a.Eps != 0 {
+		t.Errorf("Apply mutated defaults: Beta1=%v Beta2=%v Eps=%v, want zeros", a.Beta1, a.Beta2, a.Eps)
+	}
+	// NewOptimizer is where defaults are resolved, once.
+	opt, err := NewOptimizer("adam", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := opt.(*Adam)
+	if built.Beta1 != 0.9 || built.Beta2 != 0.999 || built.Eps != 1e-8 {
+		t.Errorf("NewOptimizer defaults = %v/%v/%v, want 0.9/0.999/1e-8", built.Beta1, built.Beta2, built.Eps)
+	}
+}
+
+// TestMomentumAndSGDLengthGuards pins the same shape validation for the
+// other optimizers.
+func TestMomentumAndSGDLengthGuards(t *testing.T) {
+	m := &Momentum{LR: 0.1, Beta: 0.9}
+	if err := m.Apply([]float64{1, 2}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply([]float64{1, 2, 3}, []float64{1, 1, 1}); err == nil {
+		t.Error("Momentum accepted a longer vector after sizing state, want error")
+	}
+	if err := m.Apply([]float64{1, 2}, []float64{1, 1, 1}); err == nil {
+		t.Error("Momentum accepted grad longer than params, want error")
+	}
+	s := &SGD{LR: 0.1}
+	if err := s.Apply([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("SGD accepted mismatched lengths, want error")
+	}
+}
+
+// TestSyncSurfacesOptimizerError pins the server-side error path: a
+// misconfigured optimizer (state sized for a different shard) turns into a
+// sync error and closes the shard instead of panicking the handler.
+func TestSyncSurfacesOptimizerError(t *testing.T) {
+	bad := &Adam{LR: 0.1}
+	if err := bad.Apply([]float64{1, 2, 3}, []float64{0, 0, 0}); err != nil { // state sized for 3
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Init: []float64{1, 2}, Sync: model.ASP, Workers: 1, LR: 0.1,
+		Optimizer: bad, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.sync(0, 1, []float64{1, 1}); err == nil {
+		t.Fatal("sync with poisoned optimizer succeeded, want error")
+	}
+	// The shard is closed afterwards: further syncs fail fast.
+	if _, _, err := srv.sync(0, 2, []float64{1, 1}); err != errClosed {
+		t.Errorf("sync after optimizer failure = %v, want errClosed", err)
+	}
+}

@@ -105,6 +105,7 @@ type Server struct {
 
 	ln    net.Listener
 	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup // accept loop + live handle goroutines
 
 	// Per-shard counters behind Stats(); the registry-backed metrics in m
 	// aggregate across shards that share a registry.
@@ -151,20 +152,35 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 }
 
 // Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
-// and returns the bound address. Serve loops run in the background.
+// and returns the bound address. Serve loops run in the background. A
+// server listens at most once: a second call returns an error instead of
+// silently orphaning the first accept loop.
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errClosed
+	}
+	if s.ln != nil {
+		bound := s.ln.Addr().String()
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("ps: already listening on %s", bound)
+	}
 	s.ln = ln
+	s.wg.Add(1)
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -177,12 +193,15 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1) // under mu: Close cannot Wait between the add and the spawn
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
 }
 
-// Close stops the listener, wakes barrier waiters, and closes connections.
+// Close stops the listener, wakes barrier waiters, closes connections, and
+// blocks until the accept loop and every handle goroutine have drained —
+// after Close returns, the server has no goroutines left.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -199,6 +218,7 @@ func (s *Server) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	s.wg.Wait()
 }
 
 // Stats returns a snapshot of the counters.
@@ -234,6 +254,7 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.wg.Done()
 	}()
 	fail := func(err error) {
 		_ = writeFrame(conn, msgError, []byte(err.Error()))
@@ -325,8 +346,15 @@ func (s *Server) sync(workerID int, step uint32, grad []float64) ([]float64, uin
 	s.m.pushes.Inc()
 
 	if s.cfg.Sync == model.ASP {
-		// Apply immediately.
-		s.opt.Apply(s.params, grad)
+		// Apply immediately. An optimizer error means its state no longer
+		// matches the shard (a misconfigured or reused cfg.Optimizer):
+		// mark the shard closed rather than keep serving parameters the
+		// optimizer can no longer update.
+		if err := s.opt.Apply(s.params, grad); err != nil {
+			s.closed = true
+			s.cond.Broadcast()
+			return nil, 0, err
+		}
 		s.version++
 		s.applies.Add(1)
 		s.m.applies.Inc()
@@ -366,7 +394,13 @@ func (s *Server) sync(workerID int, step uint32, grad []float64) ([]float64, uin
 	myRound := s.version
 	if s.nPushed == s.cfg.Workers {
 		tensor.Scale(1/float64(s.cfg.Workers), s.pending)
-		s.opt.Apply(s.params, s.pending)
+		// See the ASP branch: an optimizer error poisons the shard, and
+		// closing also releases the other workers parked on this barrier.
+		if err := s.opt.Apply(s.params, s.pending); err != nil {
+			s.closed = true
+			s.cond.Broadcast()
+			return nil, 0, err
+		}
 		for i := range s.pending {
 			s.pending[i] = 0
 		}

@@ -1,0 +1,119 @@
+package simtest
+
+// Differential allocator tests: the incremental max-min allocator
+// (flow.AllocIncremental, the engine default) must be indistinguishable —
+// bit for bit, via reflect.DeepEqual over full Results — from the kept
+// pre-incremental full recompute (flow.AllocReference) across generated
+// workloads and clusters, including fault-interrupted runs. A verify-mode
+// pass re-checks every single recompute inside the engine, and the golden
+// corpus replay asserts the Resource.Utilization clamp counter stays zero
+// (no hidden accounting drift anywhere in the 11 scenarios).
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cynthia/internal/ddnnsim"
+	"cynthia/internal/flow"
+)
+
+const diffSeedBase = 0x5eed0d1f
+
+// TestDifferentialAllocatorOnGeneratedSims runs each generated simulation
+// once per allocator mode and requires deeply identical Results: same
+// training time, same loss curve, same utilizations, to the last float.
+func TestDifferentialAllocatorOnGeneratedSims(t *testing.T) {
+	const iters = 40
+	for seed := int64(0); seed < 15; seed++ {
+		rng := NewRand(diffSeedBase + seed)
+		catalog := GenCatalog(rng)
+		w := GenWorkload(rng).WithIterations(iters)
+		spec := GenCluster(rng, catalog)
+		opt := ddnnsim.Options{Seed: seed, CheckpointEvery: 7, TraceBin: 0.5}
+
+		refOpt := opt
+		refOpt.AllocMode = flow.AllocReference
+		ref, err := ddnnsim.Run(w, spec, refOpt)
+		if err != nil {
+			t.Fatalf("seed %d reference: %v", seed, err)
+		}
+		incOpt := opt
+		incOpt.AllocMode = flow.AllocIncremental
+		inc, err := ddnnsim.Run(w, spec, incOpt)
+		if err != nil {
+			t.Fatalf("seed %d incremental: %v", seed, err)
+		}
+		if !reflect.DeepEqual(ref, inc) {
+			t.Errorf("seed %d: incremental result diverged from reference\nreference:   %+v\nincremental: %+v", seed, ref, inc)
+		}
+
+		// Interrupted segment: the allocators must also agree mid-run, at
+		// an instant that is not a flow-set quiescence point.
+		fref := refOpt
+		fref.Faults = []ddnnsim.Fault{{AtSec: ref.TrainingTime / 3, Role: "worker", Index: 0}}
+		finc := incOpt
+		finc.Faults = fref.Faults
+		rref, err := ddnnsim.Run(w, spec, fref)
+		if err != nil {
+			t.Fatalf("seed %d fault reference: %v", seed, err)
+		}
+		rinc, err := ddnnsim.Run(w, spec, finc)
+		if err != nil {
+			t.Fatalf("seed %d fault incremental: %v", seed, err)
+		}
+		if !reflect.DeepEqual(rref, rinc) {
+			t.Errorf("seed %d: interrupted incremental result diverged from reference", seed)
+		}
+	}
+}
+
+// TestVerifyModeOnGeneratedSims runs a subset of generated simulations
+// under flow.AllocVerify, which cross-checks incremental against reference
+// inside the engine on every recompute and panics on any bitwise rate
+// mismatch — catching divergence at the event where it happens rather
+// than at the end of the run.
+func TestVerifyModeOnGeneratedSims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verify mode doubles every allocation; skipping in -short")
+	}
+	const iters = 25
+	for seed := int64(0); seed < 6; seed++ {
+		rng := NewRand(diffSeedBase + 100 + seed)
+		catalog := GenCatalog(rng)
+		w := GenWorkload(rng).WithIterations(iters)
+		spec := GenCluster(rng, catalog)
+		opt := ddnnsim.Options{Seed: seed, AllocMode: flow.AllocVerify}
+		if _, err := ddnnsim.Run(w, spec, opt); err != nil {
+			t.Fatalf("seed %d verify: %v", seed, err)
+		}
+	}
+}
+
+// TestGoldenCorpusNoUtilizationClamps replays every golden scenario and
+// asserts the process-wide Utilization clamp counter does not move: none
+// of the 11 end-to-end runs drives a resource's busy integral past its
+// capacity (the drift the old silent clamp in Resource.Utilization would
+// have masked).
+func TestGoldenCorpusNoUtilizationClamps(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden scenarios found")
+	}
+	before := flow.UtilizationClamps()
+	for _, path := range paths {
+		s, err := LoadScenario(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunScenario(s); err != nil {
+			t.Fatalf("%s: %v", filepath.Base(path), err)
+		}
+	}
+	if delta := flow.UtilizationClamps() - before; delta != 0 {
+		t.Errorf("golden corpus produced %d utilization clamps, want 0 (accounting drift)", delta)
+	}
+}

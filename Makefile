@@ -7,6 +7,10 @@ GO ?= go
 # it, and the planner that calls the simulator thousands of times.
 BENCH_HOT = ./internal/flow ./internal/ddnnsim ./internal/plan
 
+# The flight-recorder benchmarks gate separately (BENCH_obs.json):
+# steady-state journal appends must stay allocation-free.
+BENCH_OBS = ./internal/obs/journal
+
 all: check
 
 build:
@@ -38,11 +42,12 @@ bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkCounterInc|BenchmarkSpanStartEnd' -benchmem .
 	$(GO) test -run xxx -bench . -benchmem ./internal/obs
 
-# bench-json refreshes the committed perf baseline: run the hot-path
-# benchmarks and serialize them into BENCH_flow.json. Regenerate (and
-# commit) after intentional perf-relevant changes.
+# bench-json refreshes the committed perf baselines: run the hot-path
+# benchmarks and serialize them into BENCH_flow.json and BENCH_obs.json.
+# Regenerate (and commit) after intentional perf-relevant changes.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out BENCH_flow.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out BENCH_obs.json
 
 # bench-check re-runs the same benchmarks and gates against the committed
 # baseline, benchstat-style: allocs/op must not rise, incremental vs
@@ -52,13 +57,16 @@ bench-check:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out .bench_current.json
 	$(GO) run ./cmd/benchjson compare -baseline BENCH_flow.json -current .bench_current.json -threshold 10 -min-speedup 2
 	@rm -f .bench_current.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out .bench_obs.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_obs.json -current .bench_obs.json -threshold 10 -min-speedup 0
+	@rm -f .bench_obs.json
 
 # coverage enforces per-package statement-coverage floors on the search
 # core, the flow model, and the recovery state machine. Floors sit a few
 # points under the measured numbers so a coverage regression fails CI
 # without turning every refactor into a fight with the gate.
 coverage:
-	@set -e; for spec in internal/plan:80 internal/flow:80 internal/cluster:85; do \
+	@set -e; for spec in internal/plan:80 internal/flow:80 internal/cluster:85 internal/obs:80 internal/obs/journal:80; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		$(GO) test -count=1 -coverprofile=.cover.out ./$$pkg >/dev/null; \
 		total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \

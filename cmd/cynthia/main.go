@@ -24,6 +24,7 @@ import (
 	"cynthia/internal/cluster"
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/perf"
 	"cynthia/internal/plan"
 	"cynthia/internal/profile"
@@ -46,10 +47,11 @@ func main() {
 		preemptAt    = flag.Float64("preempt-at", 0, "preempt one instance at this simulated second (enables the controller pipeline)")
 		seed         = flag.Int64("seed", 0, "fault-injection and simulation seed")
 		noRecovery   = flag.Bool("no-recovery", false, "fail the job on the first preemption instead of recovering")
+		timeline     = flag.Bool("timeline", false, "print the job's flight-recorder timeline after the run (controller pipeline only)")
 	)
 	flag.Parse()
 	if *faultRate > 0 || *preemptAt > 0 {
-		fi := faultInjection{Rate: *faultRate, PreemptAt: *preemptAt, Seed: *seed, NoRecovery: *noRecovery}
+		fi := faultInjection{Rate: *faultRate, PreemptAt: *preemptAt, Seed: *seed, NoRecovery: *noRecovery, Timeline: *timeline}
 		if err := runControlled(*workloadName, *workloadFile, *deadline, *lossTarget, fi); err != nil {
 			fmt.Fprintln(os.Stderr, "cynthia:", err)
 			os.Exit(1)
@@ -69,6 +71,7 @@ type faultInjection struct {
 	PreemptAt  float64
 	Seed       int64
 	NoRecovery bool
+	Timeline   bool
 }
 
 // runControlled drives the full controller pipeline — master, simulated
@@ -87,6 +90,11 @@ func runControlled(workloadName, workloadFile string, deadline, lossTarget float
 	// time, so -preempt-at means simulated seconds into the run.
 	now := new(float64)
 	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
+	// The flight recorder correlates the whole run: instance lifecycle
+	// events from the provider land in the master's journal next to the
+	// controller, planner, and simulator events.
+	provider.SetJournal(master.Journal())
+	master.SetJournal(master.Journal(), provider.Now)
 	provider.SetFaultPlan(cloud.FaultPlan{
 		Seed:          fi.Seed,
 		PreemptRate:   fi.Rate,
@@ -101,7 +109,10 @@ func runControlled(workloadName, workloadFile string, deadline, lossTarget float
 
 	fmt.Printf("submitting %s (deadline %.0fs, loss %.2f) with fault injection: rate %.2f, preempt-at %.0fs, seed %d\n",
 		w.Name, deadline, lossTarget, fi.Rate, fi.PreemptAt, fi.Seed)
-	job, err := ctl.Submit(w, plan.Goal{TimeSec: deadline, LossTarget: lossTarget})
+	// The correlation ID is minted here, at the CLI edge, and threads
+	// through every flight-recorder event the job produces.
+	trace := fmt.Sprintf("cli-%d", fi.Seed)
+	job, err := ctl.SubmitTraced(w, plan.Goal{TimeSec: deadline, LossTarget: lossTarget}, trace)
 	if job == nil {
 		return err
 	}
@@ -118,6 +129,13 @@ func runControlled(workloadName, workloadFile string, deadline, lossTarget float
 	fmt.Printf("  recoveries:  %d (%d iterations of lost work redone)\n", job.Recoveries, job.LostIterations)
 	if job.Err != "" {
 		fmt.Printf("  error:       %s\n", job.Err)
+	}
+	if fi.Timeline {
+		fmt.Println()
+		tl := journal.BuildTimeline(job.ID, master.Journal().JobEvents(job.ID))
+		if err := tl.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -64,6 +64,13 @@ func TestRunSerialScan(t *testing.T) {
 	}
 }
 
+func TestRunControlledTimeline(t *testing.T) {
+	fi := faultInjection{PreemptAt: 100, Seed: 7, Timeline: true}
+	if err := runControlled("mnist DNN", "", 1800, 0.2, fi); err != nil {
+		t.Fatalf("controlled run with -timeline failed: %v", err)
+	}
+}
+
 func TestRunCustomWorkloadFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "w.json")

@@ -7,9 +7,12 @@
 //	cynthiactl get jobs
 //	cynthiactl get job <id>
 //	cynthiactl submit -workload "cifar10 DNN" -deadline 5400 -loss 0.8
+//	cynthiactl timeline <jobID> [-format text|json|chrome]
+//	cynthiactl events [-after N] [-job id] [-follow] [-interval 2s]
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -18,6 +21,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"time"
 )
 
 func main() {
@@ -81,9 +85,97 @@ func run(server string, args []string) error {
 		}
 		defer resp.Body.Close()
 		return dump(resp)
+	case "timeline":
+		fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+		format := fs.String("format", "text", "timeline rendering: text, json, or chrome")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return fmt.Errorf("timeline <jobID> [-format text|json|chrome]")
+		}
+		jobID := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil { // flags may follow the job ID
+			return err
+		}
+		u := base + "/debug/jobs/" + url.PathEscape(jobID) + "/timeline?format=" + url.QueryEscape(*format)
+		if *format == "text" {
+			return raw(u)
+		}
+		return pretty(u)
+	case "events":
+		fs := flag.NewFlagSet("events", flag.ContinueOnError)
+		after := fs.Uint64("after", 0, "only events with a global sequence number above this")
+		jobF := fs.String("job", "", "only events correlated with this job ID")
+		follow := fs.Bool("follow", false, "keep polling for new events")
+		interval := fs.Duration("interval", 2*time.Second, "poll interval with -follow")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return followEvents(base, *after, *jobF, *follow, *interval)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// followEvents streams the flight recorder's canonical JSONL to stdout.
+// With follow it polls from the last printed sequence number, so each
+// event appears exactly once.
+func followEvents(base string, after uint64, job string, follow bool, interval time.Duration) error {
+	for {
+		u := fmt.Sprintf("%s/debug/journal?after=%d", base, after)
+		if job != "" {
+			u += "&job=" + url.QueryEscape(job)
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			resp.Body.Close()
+			return fmt.Errorf("server returned %s", resp.Status)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			fmt.Printf("%s\n", line)
+			var ev struct {
+				Seq uint64 `json:"seq"`
+			}
+			if json.Unmarshal(line, &ev) == nil && ev.Seq > after {
+				after = ev.Seq
+			}
+		}
+		err = sc.Err()
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if !follow {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// raw prints a response body verbatim (for text renderings).
+func raw(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s", body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
 }
 
 func pretty(u string) error {

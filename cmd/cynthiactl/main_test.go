@@ -16,6 +16,7 @@ func startMaster(t *testing.T) string {
 		t.Fatal(err)
 	}
 	provider := cloud.NewProvider(cloud.DefaultCatalog(), nil)
+	provider.SetJournal(master.Journal())
 	controller := cluster.NewController(master, provider, nil, "")
 	srv := httptest.NewServer(cluster.NewAPI(master, controller).Handler())
 	t.Cleanup(srv.Close)
@@ -45,6 +46,31 @@ func TestSubmitAndGetJob(t *testing.T) {
 	}
 	if err := run(addr, []string{"get", "pods", "job-1"}); err != nil {
 		t.Errorf("get pods with filter failed: %v", err)
+	}
+}
+
+func TestTimelineAndEvents(t *testing.T) {
+	addr := startMaster(t)
+	if err := run(addr, []string{"submit", "-workload", "mnist DNN", "-deadline", "1800", "-loss", "0.2"}); err != nil {
+		t.Fatalf("submit failed: %v", err)
+	}
+	for _, args := range [][]string{
+		{"timeline", "job-1"},
+		{"timeline", "job-1", "-format", "json"},
+		{"timeline", "job-1", "-format", "chrome"},
+		{"events"},
+		{"events", "-job", "job-1"},
+		{"events", "-after", "5"},
+	} {
+		if err := run(addr, args); err != nil {
+			t.Errorf("%v failed: %v", args, err)
+		}
+	}
+	if err := run(addr, []string{"timeline", "ghost"}); err == nil {
+		t.Error("timeline for missing job did not error")
+	}
+	if err := run(addr, []string{"timeline"}); err == nil {
+		t.Error("timeline without a job accepted")
 	}
 }
 

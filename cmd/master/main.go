@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/cluster"
@@ -23,11 +25,12 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
-		gpu  = flag.Bool("gpu", false, "use the extended CPU+GPU catalog")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		gpu     = flag.Bool("gpu", false, "use the extended CPU+GPU catalog")
+		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof profiles (CPU, heap, goroutine, block) under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *gpu); err != nil {
+	if err := run(*addr, *gpu, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "master:", err)
 		os.Exit(1)
 	}
@@ -36,8 +39,9 @@ func main() {
 // setup assembles the control plane — master, provider, controller, HTTP
 // API — and returns the route handler plus the join credentials the
 // banner prints. Split from run so tests can serve the handler from
-// httptest instead of a real listener.
-func setup(gpu bool) (http.Handler, *cluster.Master, *cloud.Catalog, error) {
+// httptest instead of a real listener. With pprofOn the debug mux also
+// serves the net/http/pprof profiles (and enables block profiling).
+func setup(gpu, pprofOn bool) (http.Handler, *cluster.Master, *cloud.Catalog, error) {
 	master, err := cluster.NewMaster()
 	if err != nil {
 		return nil, nil, nil, err
@@ -47,18 +51,38 @@ func setup(gpu bool) (http.Handler, *cluster.Master, *cloud.Catalog, error) {
 		catalog = cloud.ExtendedCatalog()
 	}
 	provider := cloud.NewProvider(catalog, nil)
+	// The flight recorder spans the whole control plane: the provider
+	// appends instance lifecycle events to the master's journal, and
+	// master-sourced events run on the provider clock.
+	provider.SetJournal(master.Journal())
+	master.SetJournal(master.Journal(), provider.Now)
 	controller := cluster.NewController(master, provider, nil, "")
 	api := cluster.NewAPI(master, controller)
-	return api.Handler(), master, catalog, nil
+	handler := http.Handler(api.Handler())
+	if pprofOn {
+		runtime.SetBlockProfileRate(1)
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	return handler, master, catalog, nil
 }
 
-func run(addr string, gpu bool) error {
-	handler, master, catalog, err := setup(gpu)
+func run(addr string, gpu, pprofOn bool) error {
+	handler, master, catalog, err := setup(gpu, pprofOn)
 	if err != nil {
 		return err
 	}
 	token, caHash := master.JoinCredentials()
 	fmt.Printf("master: listening on %s (%d instance types)\n", addr, catalog.Len())
 	fmt.Printf("master: nodes join with token %s, CA hash %s...\n", token, caHash[:23])
+	if pprofOn {
+		fmt.Printf("master: pprof profiles on http://%s/debug/pprof/\n", addr)
+	}
 	return http.ListenAndServe(addr, handler)
 }

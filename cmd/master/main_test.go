@@ -12,7 +12,7 @@ import (
 
 func newTestServer(t *testing.T, gpu bool) *httptest.Server {
 	t.Helper()
-	handler, _, _, err := setup(gpu)
+	handler, _, _, err := setup(gpu, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +134,101 @@ func TestGetMissingJobIs404(t *testing.T) {
 	}
 }
 
-// TestGPUFlagSelectsExtendedCatalog pins what -gpu changes: the provider
-// catalog grows from the paper's four CPU families to the extended set.
-func TestGPUFlagSelectsExtendedCatalog(t *testing.T) {
-	_, _, def, err := setup(false)
+// TestTimelineEndToEnd submits a job and reads its flight-recorder
+// timeline back through the debug endpoint in all three formats.
+func TestTimelineEndToEnd(t *testing.T) {
+	srv := newTestServer(t, false)
+	body := `{"workload": "mnist DNN", "deadline_sec": 3600, "loss_target": 0.2}`
+	resp, err := http.Post(srv.URL+"/api/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, ext, err := setup(true)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /api/jobs: %s", resp.Status)
+	}
+
+	var tl struct {
+		Job   string `json:"job"`
+		Trace string `json:"trace"`
+		Steps []struct {
+			Type   string `json:"type"`
+			Source string `json:"source"`
+		} `json:"steps"`
+	}
+	getJSON(t, srv.URL+"/debug/jobs/job-1/timeline", &tl)
+	if tl.Job != "job-1" || tl.Trace == "" || len(tl.Steps) == 0 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	seen := map[string]bool{}
+	for _, s := range tl.Steps {
+		seen[s.Type] = true
+	}
+	for _, want := range []string{"job.submitted", "job.plan.chosen", "segment.start", "segment.end", "job.finished"} {
+		if !seen[want] {
+			t.Errorf("timeline missing %s event; have %v", want, seen)
+		}
+	}
+
+	for _, format := range []string{"text", "chrome"} {
+		r, err := http.Get(srv.URL + "/debug/jobs/job-1/timeline?format=" + format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("timeline format=%s: %s", format, r.Status)
+		}
+	}
+	r, err := http.Get(srv.URL + "/debug/jobs/ghost/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job timeline: %s, want 404", r.Status)
+	}
+}
+
+// TestPprofFlagMountsProfiles pins what -pprof adds: the net/http/pprof
+// index appears on the debug mux, and the API keeps working beside it.
+func TestPprofFlagMountsProfiles(t *testing.T) {
+	handler, _, _, err := setup(false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine", "/debug/pprof/block", "/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+	// Without the flag the profiles are absent.
+	plain := newTestServer(t, false)
+	resp, err := http.Get(plain.URL + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+}
+
+// TestGPUFlagSelectsExtendedCatalog pins what -gpu changes: the provider
+// catalog grows from the paper's four CPU families to the extended set.
+func TestGPUFlagSelectsExtendedCatalog(t *testing.T) {
+	_, _, def, err := setup(false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ext, err := setup(true, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,8 +16,10 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,9 +43,10 @@ func main() {
 		staleness = flag.Int("staleness", 0, "SSP staleness bound for asp (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "parameter initialization seed (must match workers)")
 		metrics   = flag.String("metrics", "", "serve /metrics and /debug/snapshot on this address (empty = disabled)")
+		pprofOn   = flag.Bool("pprof", false, "also serve net/http/pprof profiles under /debug/pprof/ on the -metrics address")
 	)
 	flag.Parse()
-	if err := run(*addr, *sizes, *shard, *shards, *workers, *sync, *optimizer, *staleness, *lr, *seed, *metrics); err != nil {
+	if err := run(*addr, *sizes, *shard, *shards, *workers, *sync, *optimizer, *staleness, *lr, *seed, *metrics, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "psserver:", err)
 		os.Exit(1)
 	}
@@ -63,14 +66,27 @@ func parseSizes(s string) ([]int, error) {
 }
 
 // serveMetrics exposes the registry's /metrics and /debug/snapshot
-// endpoints on addr in a background goroutine. It returns the bound
-// address and a closer for the listener.
-func serveMetrics(addr string, reg *obs.Registry) (string, func() error, error) {
+// endpoints on addr in a background goroutine, plus the net/http/pprof
+// profiles when pprofOn is set. It returns the bound address and a closer
+// for the listener.
+func serveMetrics(addr string, reg *obs.Registry, pprofOn bool) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: obs.Mux(reg)}
+	handler := http.Handler(obs.Mux(reg))
+	if pprofOn {
+		runtime.SetBlockProfileRate(1)
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			obs.Warnf("psserver: metrics server: %v", err)
@@ -79,7 +95,7 @@ func serveMetrics(addr string, reg *obs.Registry) (string, func() error, error) 
 	return ln.Addr().String(), srv.Close, nil
 }
 
-func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName string, staleness int, lr float64, seed int64, metricsAddr string) error {
+func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName string, staleness int, lr float64, seed int64, metricsAddr string, pprofOn bool) error {
 	sizes, err := parseSizes(sizesStr)
 	if err != nil {
 		return err
@@ -130,7 +146,7 @@ func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName str
 	fmt.Printf("psserver: shard %d/%d (%d params) listening on %s, %s, %d workers, lr=%g\n",
 		shard, shards, hi-lo, bound, mode, workers, lr)
 	if metricsAddr != "" {
-		mBound, closeMetrics, err := serveMetrics(metricsAddr, obs.Default())
+		mBound, closeMetrics, err := serveMetrics(metricsAddr, obs.Default(), pprofOn)
 		if err != nil {
 			// Observability must not take the shard down: warn and serve
 			// parameters anyway.
@@ -138,6 +154,9 @@ func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName str
 		} else {
 			defer closeMetrics()
 			fmt.Printf("psserver: metrics on http://%s/metrics (snapshot at /debug/snapshot)\n", mBound)
+			if pprofOn {
+				fmt.Printf("psserver: pprof profiles on http://%s/debug/pprof/\n", mBound)
+			}
 		}
 	}
 

@@ -25,19 +25,19 @@ func TestParseSizes(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("127.0.0.1:0", "784,10", 2, 2, 1, "bsp", "sgd", 0, 0.1, 1, ""); err == nil {
+	if err := run("127.0.0.1:0", "784,10", 2, 2, 1, "bsp", "sgd", 0, 0.1, 1, "", false); err == nil {
 		t.Error("out-of-range shard accepted")
 	}
-	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "ssp", "sgd", 0, 0.1, 1, ""); err == nil {
+	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "ssp", "sgd", 0, 0.1, 1, "", false); err == nil {
 		t.Error("unknown sync accepted")
 	}
-	if err := run("127.0.0.1:0", "bad", 0, 1, 1, "bsp", "sgd", 0, 0.1, 1, ""); err == nil {
+	if err := run("127.0.0.1:0", "bad", 0, 1, 1, "bsp", "sgd", 0, 0.1, 1, "", false); err == nil {
 		t.Error("bad sizes accepted")
 	}
 }
 
 func TestRunRejectsBadOptimizer(t *testing.T) {
-	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "bsp", "lamb", 0, 0.1, 1, ""); err == nil {
+	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "bsp", "lamb", 0, 0.1, 1, "", false); err == nil {
 		t.Error("unknown optimizer accepted")
 	}
 }
@@ -49,7 +49,7 @@ func TestServeMetrics(t *testing.T) {
 	if _, err := ps.NewServer(ps.ServerConfig{Init: make([]float64, 8), Workers: 1, LR: 0.1, Obs: reg}); err != nil {
 		t.Fatal(err)
 	}
-	addr, closer, err := serveMetrics("127.0.0.1:0", reg)
+	addr, closer, err := serveMetrics("127.0.0.1:0", reg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,5 +80,33 @@ func TestServeMetrics(t *testing.T) {
 	snap := get("/debug/snapshot")
 	if !strings.Contains(snap, "cynthia_ps_push_total") {
 		t.Errorf("/debug/snapshot missing cynthia_ps_push_total: %s", snap)
+	}
+}
+
+// TestServeMetricsPprof pins the -pprof wiring: the profile index mounts
+// beside /metrics, and stays absent without the flag.
+func TestServeMetricsPprof(t *testing.T) {
+	status := func(pprofOn bool, path string) int {
+		t.Helper()
+		addr, closer, err := serveMetrics("127.0.0.1:0", obs.NewRegistry(), pprofOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closer()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status(true, "/debug/pprof/heap"); got != http.StatusOK {
+		t.Errorf("pprof heap with -pprof: status %d", got)
+	}
+	if got := status(true, "/metrics"); got != http.StatusOK {
+		t.Errorf("/metrics with -pprof: status %d", got)
+	}
+	if got := status(false, "/debug/pprof/heap"); got == http.StatusOK {
+		t.Error("pprof served without -pprof")
 	}
 }

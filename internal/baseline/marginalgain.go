@@ -60,6 +60,7 @@ func (g MarginalGain) Search(ctx context.Context, req plan.Request) (plan.Result
 	}
 	var ranked []plan.Plan
 	var best, effort plan.Plan
+	var stats plan.SearchStats
 	haveBest, haveEffort := false, false
 	for _, t := range nreq.Catalog.Types() {
 		if err := ctx.Err(); err != nil {
@@ -68,6 +69,13 @@ func (g MarginalGain) Search(ctx context.Context, req plan.Request) (plan.Result
 		final, trajectory, ok := g.climb(ctx, nreq, t)
 		if !ok {
 			continue
+		}
+		stats.Types++
+		stats.Enumerated += len(trajectory)
+		for _, c := range trajectory {
+			if c.Feasible {
+				stats.Feasible++
+			}
 		}
 		ranked = append(ranked, trajectory...)
 		if final.Feasible {
@@ -81,9 +89,9 @@ func (g MarginalGain) Search(ctx context.Context, req plan.Request) (plan.Result
 	plan.Rank(ranked)
 	switch {
 	case haveBest:
-		return plan.Result{Plan: best, Ranked: ranked}, nil
+		return plan.Result{Plan: best, Ranked: ranked, Stats: stats}, nil
 	case haveEffort:
-		return plan.Result{Plan: effort, Ranked: ranked}, nil
+		return plan.Result{Plan: effort, Ranked: ranked, Stats: stats}, nil
 	}
 	return plan.Result{}, fmt.Errorf("baseline: no marginal-gain candidate for %s (goal %.0fs / loss %.3f)",
 		nreq.Profile.Workload.Name, req.Goal.TimeSec, req.Goal.LossTarget)

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 )
 
 // ErrTransient is returned by Launch for injected transient control-plane
@@ -178,9 +179,64 @@ func (p *Provider) Watch(buffer int) (<-chan InstanceEvent, func()) {
 	return ch, cancel
 }
 
-// emitLocked fans an event out to every watcher without blocking. Callers
-// hold p.mu.
+// SetJournal installs (or, with nil, removes) the flight-recorder journal
+// the provider appends instance lifecycle events to. Correlation IDs are
+// read from the instance's "trace" and "job" tags, so events line up with
+// the controller's per-job timeline without any extra plumbing.
+func (p *Provider) SetJournal(j *journal.Journal) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jrnl = j
+}
+
+// journalLocked appends one lifecycle event to the flight recorder.
+// Callers hold p.mu.
+func (p *Provider) journalLocked(typ EventType, inst *Instance, at float64) {
+	if p.jrnl == nil {
+		return
+	}
+	var jt journal.Type
+	switch typ {
+	case EventLaunched:
+		jt = journal.InstanceLaunched
+	case EventPreempted:
+		jt = journal.InstancePreempted
+	case EventTerminated:
+		jt = journal.InstanceTerminated
+	default:
+		return
+	}
+	fields := []journal.Field{
+		journal.F("id", inst.ID),
+		journal.F("type", inst.Type.Name),
+	}
+	if typ == EventLaunched {
+		fields = append(fields,
+			journal.Ffloat("delay_sec", inst.ReadyAt-inst.LaunchedAt),
+			journal.Ffloat("price_per_hour", inst.Type.PricePerHour))
+	} else {
+		dur := at - inst.LaunchedAt
+		if dur < 0 {
+			dur = 0
+		}
+		fields = append(fields,
+			journal.Ffloat("uptime_sec", dur),
+			journal.Ffloat("cost_usd", dur/3600*inst.Type.PricePerHour))
+	}
+	p.jrnl.Append(journal.Event{
+		Source: "cloud",
+		Trace:  inst.Tags["trace"],
+		Job:    inst.Tags["job"],
+		Type:   jt,
+		At:     at,
+		Fields: fields,
+	})
+}
+
+// emitLocked journals an event and fans it out to every watcher without
+// blocking. Callers hold p.mu.
 func (p *Provider) emitLocked(typ EventType, inst *Instance, at float64) {
+	p.journalLocked(typ, inst, at)
 	if len(p.watchers) == 0 {
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 )
 
 // providerMetrics count instance lifecycle activity on the default
@@ -123,6 +124,7 @@ type Provider struct {
 	fault     *faultState    // optional fault injection (see faults.go)
 	watchers  map[int]chan InstanceEvent
 	nextWatch int
+	jrnl      *journal.Journal // optional flight recorder (see faults.go)
 }
 
 // NewProvider returns a provider over the given catalog using the given

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
 	"cynthia/internal/model"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/plan"
 )
 
@@ -47,6 +49,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /api/jobs", a.getJobs)
 	mux.HandleFunc("GET /api/jobs/{id}", a.getJob)
 	mux.HandleFunc("POST /api/jobs", a.postJob)
+	mux.HandleFunc("GET /debug/jobs/{id}/timeline", a.getTimeline)
+	mux.HandleFunc("GET /debug/journal", a.getJournal)
 	return mux
 }
 
@@ -60,6 +64,7 @@ type JobRequest struct {
 // JobResponse is the wire form of a Job.
 type JobResponse struct {
 	ID           string  `json:"id"`
+	TraceID      string  `json:"trace_id,omitempty"`
 	Workload     string  `json:"workload"`
 	Status       string  `json:"status"`
 	InstanceType string  `json:"instance_type,omitempty"`
@@ -76,6 +81,7 @@ type JobResponse struct {
 func toResponse(j Job) JobResponse {
 	resp := JobResponse{
 		ID:          j.ID,
+		TraceID:     j.TraceID,
 		Status:      string(j.Status),
 		Iterations:  j.Plan.Iterations,
 		Workers:     j.Plan.Workers,
@@ -168,6 +174,60 @@ func (a *API) getJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toResponse(j))
 }
 
+// getTimeline reconstructs one job's causal narrative from the flight
+// recorder: every correlated event in global order, rendered as JSON
+// (default), human-readable text (?format=text), or a Chrome trace
+// (?format=chrome) loadable in chrome://tracing or Perfetto.
+func (a *API) getTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := a.controller.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	events := a.master.Journal().JobEvents(id)
+	tl := journal.BuildTimeline(id, events)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, tl)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tl.WriteText(w)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tl.WriteChromeTrace(w)
+	default:
+		writeError(w, http.StatusBadRequest, "bad format %q (want json, text, or chrome)", r.URL.Query().Get("format"))
+	}
+}
+
+// getJournal streams the flight recorder in its canonical JSONL encoding,
+// optionally from a global sequence number (?after=N) and filtered to one
+// job (?job=...). The encoding is byte-identical run to run in
+// deterministic mode, which is what the golden-corpus replay tests pin.
+func (a *API) getJournal(w http.ResponseWriter, r *http.Request) {
+	var after uint64
+	if s := r.URL.Query().Get("after"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad after=%q", s)
+			return
+		}
+		after = v
+	}
+	jobFilter := r.URL.Query().Get("job")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	var buf []byte
+	for _, e := range a.master.Journal().Since(after) {
+		if jobFilter != "" && e.Job != jobFilter {
+			continue
+		}
+		buf = journal.AppendJSONL(buf[:0], e)
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
 func (a *API) postJob(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
@@ -191,7 +251,10 @@ func (a *API) postJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.mu.Lock()
-	job, err := a.controller.Submit(workload, goal)
+	// The correlation ID is minted at the edge: callers may thread their
+	// own through the X-Trace-ID header; otherwise the controller mints a
+	// deterministic one from the submission sequence.
+	job, err := a.controller.SubmitTraced(workload, goal, r.Header.Get("X-Trace-ID"))
 	a.mu.Unlock()
 	if err != nil {
 		// The job record still carries the failure detail.

@@ -11,6 +11,7 @@ import (
 	"cynthia/internal/cloud"
 	"cynthia/internal/model"
 	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/perf"
 	"cynthia/internal/plan"
 	"cynthia/internal/profile"
@@ -60,7 +61,12 @@ const (
 
 // Job is one submitted training workload.
 type Job struct {
-	ID       string
+	ID string
+	// TraceID correlates every flight-recorder event the job produced
+	// across the API edge, planner, controller, cloud provider, and
+	// training simulator. Minted at the edge (or deterministically from
+	// the submission sequence when the edge supplies none).
+	TraceID  string
 	Workload *model.Workload
 	Goal     plan.Goal
 	Status   JobStatus
@@ -119,6 +125,11 @@ type Controller struct {
 	// SimSeed seeds the training simulator (recovery segments perturb it
 	// so a resumed run does not replay the original noise).
 	SimSeed int64
+	// SLO, when non-nil, receives service-level observations as jobs
+	// finish: deadline attainment against 1.05·Tg, cost overrun against
+	// the planned Eq. 8 cost, per-cycle recovery time, and per-phase
+	// deadline-budget burn. Nil disables SLO export.
+	SLO *SLOMetrics
 }
 
 // NewController wires a controller to a master and a cloud provider. The
@@ -175,14 +186,22 @@ func (c *Controller) profileFor(w *model.Workload) (*perf.Profile, error) {
 	return rep.Profile, nil
 }
 
-// setStatus records a lifecycle transition in the job's history and the
-// master event log.
+// setStatus records a lifecycle transition in the job's history, the
+// master event log, and the flight recorder.
 func (c *Controller) setStatus(job *Job, s JobStatus) {
 	c.mu.Lock()
 	job.Status = s
 	job.History = append(job.History, s)
 	c.mu.Unlock()
 	c.master.log.record("JobStatus", "job/"+job.ID, "%s", s)
+	c.jbind(job).Emit(journal.JobStatus, journal.F("status", string(s)))
+}
+
+// jbind returns the flight-recorder binding for a job: the master's
+// journal, the job's correlation IDs, and the provider clock (simulated
+// time, never wall time, so deterministic replays stay byte-identical).
+func (c *Controller) jbind(job *Job) journal.Binding {
+	return journal.Bind(c.master.Journal(), "controller", job.TraceID, job.ID).WithClock(c.provider.Now)
 }
 
 // advance moves the controller's notion of simulated time forward.
@@ -200,14 +219,29 @@ func (c *Controller) advance(dt float64) {
 // remaining time budget when the surviving plan can no longer meet the
 // deadline (see recovery.go).
 func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
+	return c.SubmitTraced(w, goal, "")
+}
+
+// SubmitTraced is Submit with an edge-minted correlation ID. An empty
+// traceID mints a deterministic one from the submission sequence, so
+// replayed scenarios produce byte-identical journals.
+func (c *Controller) SubmitTraced(w *model.Workload, goal plan.Goal, traceID string) (*Job, error) {
 	if w == nil {
 		return nil, fmt.Errorf("cluster: nil workload")
 	}
 	c.mu.Lock()
 	c.nextJob++
-	job := &Job{ID: fmt.Sprintf("job-%d", c.nextJob), seq: c.nextJob, Workload: w, Goal: goal}
+	if traceID == "" {
+		traceID = fmt.Sprintf("trace-%06d", c.nextJob)
+	}
+	job := &Job{ID: fmt.Sprintf("job-%d", c.nextJob), TraceID: traceID, seq: c.nextJob, Workload: w, Goal: goal}
 	c.jobs[job.ID] = job
 	c.mu.Unlock()
+	jb := c.jbind(job)
+	jb.Emit(journal.JobSubmitted,
+		journal.F("workload", w.Name),
+		journal.Ffloat("goal_sec", goal.TimeSec),
+		journal.Ffloat("loss_target", goal.LossTarget))
 	c.setStatus(job, StatusPlanning)
 
 	c.master.log.record("JobSubmitted", "job/"+job.ID, "%s, goal %.0fs / loss %.2f", w.Name, goal.TimeSec, goal.LossTarget)
@@ -228,9 +262,12 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 		job.Status = StatusFailed
 		job.History = append(job.History, StatusFailed)
 		job.Err = err.Error()
+		snap := job.snapshot()
 		c.mu.Unlock()
 		co.jobs.With(string(StatusFailed)).Inc()
 		c.master.log.record("JobFailed", "job/"+job.ID, "%v", err)
+		jb.Emit(journal.JobFailed, journal.F("error", err.Error()))
+		c.SLO.observeJob(snap, 0, 0, 0)
 		return job, err
 	}
 
@@ -244,6 +281,7 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 		Goal:      goal,
 		Predictor: c.predictor,
 		Catalog:   c.provider.Catalog(),
+		Journal:   jb,
 	}
 	// One exhaustive search produces both the chosen plan and the ranked
 	// candidate list, so a later capacity fallback never re-runs
@@ -252,6 +290,16 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	if err != nil {
 		return fail(err)
 	}
+	jb.Emit(journal.PlanChosen,
+		journal.F("type", res.Plan.Type.Name),
+		journal.Fint("workers", res.Plan.Workers),
+		journal.Fint("ps", res.Plan.PS),
+		journal.Fint("iterations", res.Plan.Iterations),
+		journal.Ffloat("pred_sec", res.Plan.PredTime),
+		journal.Ffloat("cost_usd", res.Plan.Cost),
+		journal.Fbool("feasible", res.Plan.Feasible),
+		journal.Fint("enumerated", res.Stats.Enumerated),
+		journal.Fint("pruned", res.Stats.Pruned))
 	st := &runState{
 		job: job, w: w, goal: goal, prof: prof,
 		plan: res.Plan, ranked: res.Ranked,
@@ -294,10 +342,19 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 	}
 	job.History = append(job.History, job.Status)
 	status := job.Status
+	snap := job.snapshot()
 	c.mu.Unlock()
 	co.jobs.With(string(status)).Inc()
 	c.master.log.record("JobFinished", "job/"+job.ID, "%s in %.0fs, loss %.3f, $%.3f",
 		status, st.elapsed, st.finalLoss, job.Cost)
+	jb.Emit(journal.JobFinished,
+		journal.F("status", string(status)),
+		journal.Ffloat("training_sec", st.elapsed),
+		journal.Ffloat("final_loss", st.finalLoss),
+		journal.Ffloat("cost_usd", snap.Cost),
+		journal.Fint("recoveries", st.recoveries),
+		journal.Fint("lost_iterations", st.lost))
+	c.SLO.observeJob(snap, st.burnProv, st.burnTrain, st.burnRec)
 	return job, nil
 }
 
@@ -333,6 +390,13 @@ func (c *Controller) provision(st *runState) error {
 		}
 	}
 	c.chargeTime(st, maxDelay)
+	st.burnProv += maxDelay
+	c.jbind(st.job).Emit(journal.JobProvisioned,
+		journal.F("type", st.plan.Type.Name),
+		journal.Fint("instances", len(insts)),
+		journal.Fint("workers", st.plan.Workers),
+		journal.Fint("ps", st.plan.PS),
+		journal.Ffloat("delay_sec", maxDelay))
 	return nil
 }
 
@@ -375,6 +439,8 @@ func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *pl
 		return nil, 0, err
 	}
 	c.master.log.record("CapacityFallback", "job/"+job.ID, "%v; trying alternatives", err)
+	c.jbind(job).Emit(journal.CapacityFallback,
+		journal.F("type", chosen.Type.Name), journal.F("error", err.Error()))
 	for _, cand := range ranked {
 		if !cand.Feasible {
 			break // sorted feasible-first; nothing usable remains
@@ -389,6 +455,13 @@ func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *pl
 			job.Plan = cand
 			c.mu.Unlock()
 			c.master.log.record("JobReplanned", "job/"+job.ID, "%s", cand)
+			c.jbind(job).Emit(journal.PlanChosen,
+				journal.F("type", cand.Type.Name),
+				journal.Fint("workers", cand.Workers),
+				journal.Fint("ps", cand.PS),
+				journal.Ffloat("pred_sec", cand.PredTime),
+				journal.Ffloat("cost_usd", cand.Cost),
+				journal.Fbool("fallback", true))
 			return insts, n, nil
 		}
 		if !fallbackable(lerr) {

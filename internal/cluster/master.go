@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"cynthia/internal/cloud"
+	"cynthia/internal/obs/journal"
 )
 
 // PodRole distinguishes worker and parameter-server pods.
@@ -70,6 +71,8 @@ type Master struct {
 	pods    map[string]*Pod
 	nextPod int
 	log     eventLog
+	jrnl    *journal.Journal
+	jclock  func() float64
 }
 
 // NewMaster initializes a master with a fresh bootstrap token and CA
@@ -89,7 +92,40 @@ func NewMaster() (*Master, error) {
 		caHash: "sha256:" + hex.EncodeToString(sum[:]),
 		nodes:  make(map[string]*Node),
 		pods:   make(map[string]*Pod),
+		jrnl:   journal.New(journal.DefaultCapacity),
 	}, nil
+}
+
+// Journal returns the control plane's flight-recorder journal. Every
+// subsystem — API edge, planner, controller, cloud provider, training
+// simulator — appends its correlated events here.
+func (m *Master) Journal() *journal.Journal {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jrnl
+}
+
+// SetJournal replaces the journal and installs the clock stamping
+// master-sourced events (nil keeps At at 0). The golden-scenario harness
+// swaps in a deterministic journal driven by the provider clock.
+func (m *Master) SetJournal(j *journal.Journal, clock func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jrnl = j
+	m.jclock = clock
+}
+
+// jemit appends one master-sourced event. Callers hold m.mu; the journal
+// and clock take their own locks but never call back into the master.
+func (m *Master) jemit(typ journal.Type, job string, fields ...journal.Field) {
+	if m.jrnl == nil {
+		return
+	}
+	at := 0.0
+	if m.jclock != nil {
+		at = m.jclock()
+	}
+	m.jrnl.Append(journal.Event{Source: "master", Job: job, Type: typ, At: at, Fields: fields})
 }
 
 // newToken builds a kubeadm bootstrap token: 6 chars "." 16 chars, from
@@ -134,6 +170,9 @@ func (m *Master) Join(name, instanceID string, t cloud.InstanceType, cores int, 
 	node := &Node{Name: name, InstanceID: instanceID, Type: t, Cores: cores, used: make([]string, cores)}
 	m.nodes[name] = node
 	m.log.record("NodeJoined", "node/"+name, "%s (%s, %d cores) joined the cluster", instanceID, t.Name, cores)
+	m.jemit(journal.NodeJoined, "",
+		journal.F("node", name), journal.F("instance", instanceID),
+		journal.F("type", t.Name), journal.Fint("cores", cores))
 	return node, nil
 }
 
@@ -150,6 +189,7 @@ func (m *Master) Drain(name string) error {
 	}
 	delete(m.nodes, name)
 	m.log.record("NodeDrained", "node/"+name, "node removed from the cluster")
+	m.jemit(journal.NodeDrained, "", journal.F("node", name))
 	return nil
 }
 
@@ -205,6 +245,9 @@ func (m *Master) Schedule(spec PodSpec) (*Pod, error) {
 	node.used[core] = pod.Name
 	m.pods[pod.Name] = pod
 	m.log.record("PodScheduled", "pod/"+pod.Name, "bound to %s core %d", node.Name, core)
+	m.jemit(journal.PodScheduled, spec.Job,
+		journal.F("pod", pod.Name), journal.F("role", string(spec.Role)),
+		journal.F("node", node.Name), journal.Fint("core", core))
 	return pod, nil
 }
 
@@ -221,6 +264,8 @@ func (m *Master) Delete(podName string) error {
 	}
 	delete(m.pods, podName)
 	m.log.record("PodDeleted", "pod/"+podName, "released %s core %d", pod.Node, pod.Core)
+	m.jemit(journal.PodDeleted, pod.Job,
+		journal.F("pod", pod.Name), journal.F("node", pod.Node), journal.Fint("core", pod.Core))
 	return nil
 }
 

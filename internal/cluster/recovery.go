@@ -18,6 +18,7 @@ import (
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
 	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/perf"
 	"cynthia/internal/plan"
 )
@@ -130,6 +131,11 @@ type runState struct {
 	finalLoss  float64
 	recoveries int
 	handled    map[string]bool // instance IDs already recovered from
+	// Per-phase deadline-budget burn, in simulated seconds (SLO export):
+	// launch delays, training segments, and recovery overhead.
+	burnProv  float64
+	burnTrain float64
+	burnRec   float64
 }
 
 // chargeTime bills a simulated duration against the job: the deadline
@@ -153,7 +159,7 @@ func (c *Controller) launchRetry(job *Job, typeName string, n int, rc RecoveryCo
 	var err error
 	for attempt := 0; ; attempt++ {
 		var insts []*cloud.Instance
-		insts, err = c.provider.Launch(typeName, n, map[string]string{"job": job.ID})
+		insts, err = c.provider.Launch(typeName, n, map[string]string{"job": job.ID, "trace": job.TraceID})
 		if err == nil {
 			return insts, nil
 		}
@@ -163,6 +169,9 @@ func (c *Controller) launchRetry(job *Job, typeName string, n int, rc RecoveryCo
 		rcObs().retries.Inc()
 		c.master.log.record("LaunchRetry", "job/"+job.ID,
 			"attempt %d for %d x %s: %v; backing off %s", attempt+1, n, typeName, err, delay)
+		c.jbind(job).Emit(journal.LaunchRetry,
+			journal.Fint("attempt", attempt+1), journal.Fint("count", n),
+			journal.F("type", typeName), journal.F("error", err.Error()))
 		rc.Sleep(delay)
 		if delay *= 2; delay > rc.RetryMax {
 			delay = rc.RetryMax
@@ -175,14 +184,25 @@ func (c *Controller) launchRetry(job *Job, typeName string, n int, rc RecoveryCo
 // from the checkpointed iteration count; a segment interrupted by an
 // instance failure triggers a recovery cycle.
 func (c *Controller) runSegments(st *runState) error {
+	jb := c.jbind(st.job)
 	for st.done < st.totalIters {
 		remaining := st.totalIters - st.done
+		segBase := c.provider.Now()
+		jb.Emit(journal.SegmentStart,
+			journal.Fint("segment", st.recoveries),
+			journal.Fint("start_iter", st.done),
+			journal.Fint("remaining", remaining),
+			journal.F("type", st.plan.Type.Name),
+			journal.Fint("workers", st.plan.Workers),
+			journal.Fint("ps", st.plan.PS))
 		opts := ddnnsim.Options{
 			Iterations:      remaining,
 			Seed:            c.SimSeed + int64(st.recoveries),
 			StartIteration:  st.done,
 			LossEvery:       max(remaining/100, 1),
 			CheckpointEvery: st.rc.CheckpointEvery,
+			Journal:         jb.WithSource("ddnnsim"),
+			JournalBaseSec:  segBase,
 		}
 		// Ask the provider — the simulation's stand-in for the cloud's
 		// preemption notice — whether any of this job's instances is
@@ -203,10 +223,16 @@ func (c *Controller) runSegments(st *runState) error {
 		}
 		c.advance(sim.TrainingTime)
 		st.elapsed += sim.TrainingTime
+		st.burnTrain += sim.TrainingTime
 		st.cost += plan.Cost(st.plan.Type, st.plan.Workers, st.plan.PS, sim.TrainingTime)
 		if sim.FinalLoss > 0 {
 			st.finalLoss = sim.FinalLoss
 		}
+		jb.Emit(journal.SegmentEnd,
+			journal.Fint("segment", st.recoveries),
+			journal.Fint("iterations", sim.Iterations),
+			journal.Ffloat("training_sec", sim.TrainingTime),
+			journal.Fbool("interrupted", sim.Interrupted))
 		if !sim.Interrupted {
 			st.done += sim.Iterations
 			return nil
@@ -227,7 +253,8 @@ func (c *Controller) runSegments(st *runState) error {
 // the dead instances like-for-like.
 func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Result) error {
 	job := st.job
-	wallStart := time.Now()
+	wallStart := time.Now() // wall latency metric only; never journaled
+	simStart := st.elapsed
 	// Land the predicted revocation in the provider (the simulated
 	// segment already honoured it; forcing it here avoids floating-point
 	// dust between the two clocks) and collect everything newly dead.
@@ -249,6 +276,10 @@ func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Res
 	c.master.log.record("InstancePreempted", "job/"+job.ID,
 		"%s preempted; %d/%d iterations checkpointed, %d lost",
 		strings.Join(ids, ","), st.done, st.totalIters, sim.LostIterations)
+	c.jbind(job).Emit(journal.RecoveryStart,
+		journal.F("instances", strings.Join(ids, ",")),
+		journal.Fint("checkpoint_iter", st.done),
+		journal.Fint("lost_iterations", sim.LostIterations))
 	if st.rc.Disabled {
 		return fmt.Errorf("cluster: instance %s preempted after %d/%d iterations and recovery is disabled",
 			strings.Join(ids, ","), st.done, st.totalIters)
@@ -274,6 +305,7 @@ func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Res
 	}
 	// Checkpoint restore and container restart are not free.
 	c.chargeTime(st, st.rc.RestartOverheadSec)
+	st.burnRec += st.rc.RestartOverheadSec
 
 	// Deadline check: if the surviving plan's predicted time for the
 	// remaining iterations exceeds the remaining budget Tg' = Tg −
@@ -297,8 +329,15 @@ func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Res
 	}
 	rcObs().recoveries.Inc()
 	rcObs().latency.Observe(time.Since(wallStart).Seconds())
+	c.SLO.observeRecovery(st.elapsed - simStart)
 	c.master.log.record("JobRecovered", "job/"+job.ID,
 		"resuming from iteration %d (%d remaining, recovery %d)", st.done, remaining, st.recoveries)
+	c.jbind(job).Emit(journal.RecoveryDone,
+		journal.Fint("recovery", st.recoveries),
+		journal.Fint("resume_iter", st.done),
+		journal.Fint("remaining", remaining),
+		journal.Fbool("replanned", replanned),
+		journal.Ffloat("recovery_sec", st.elapsed-simStart))
 	c.setStatus(job, StatusRunning)
 	return nil
 }
@@ -319,6 +358,7 @@ func (c *Controller) replan(st *runState, remaining int, budget float64) (bool, 
 		Goal:      plan.Goal{TimeSec: scaled, LossTarget: st.goal.LossTarget},
 		Predictor: c.predictor,
 		Catalog:   c.provider.Catalog(),
+		Journal:   c.jbind(job),
 	}
 	res, err := plan.SearchWith(context.Background(), c.provisioner, req)
 	if err != nil || !res.Plan.Feasible {
@@ -332,6 +372,13 @@ func (c *Controller) replan(st *runState, remaining int, budget float64) (bool, 
 		return false, nil // same shape: just replace the dead instances
 	}
 	c.master.log.record("JobReplanned", "job/"+job.ID, "Tg' = %.0fs remaining: %s", budget, p)
+	c.jbind(job).Emit(journal.RecoveryReplan,
+		journal.Ffloat("budget_sec", budget),
+		journal.F("type", p.Type.Name),
+		journal.Fint("workers", p.Workers),
+		journal.Fint("ps", p.PS),
+		journal.Ffloat("pred_sec", p.PredTime),
+		journal.Ffloat("cost_usd", p.Cost))
 	c.teardown(job)
 	st.plan, st.ranked = p, res.Ranked
 	// totalIters is pinned to the original loss-target budget; the new
@@ -357,6 +404,8 @@ func (c *Controller) replace(st *runState, failed []cloud.Instance) error {
 		if errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrTransient) {
 			c.master.log.record("CapacityFallback", "job/"+job.ID,
 				"replacement launch failed: %v; rebuilding cluster", err)
+			c.jbind(job).Emit(journal.CapacityFallback,
+				journal.F("type", st.plan.Type.Name), journal.F("error", err.Error()))
 			c.teardown(job)
 			return c.provision(st)
 		}
@@ -394,6 +443,7 @@ func (c *Controller) replace(st *runState, failed []cloud.Instance) error {
 		}
 	}
 	c.chargeTime(st, maxDelay)
+	st.burnProv += maxDelay
 	return nil
 }
 

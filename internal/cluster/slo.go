@@ -1,0 +1,91 @@
+package cluster
+
+// slo.go exports the flight recorder's service-level view: did jobs make
+// their deadlines (within the controller's 1.05·Tg acceptance band), what
+// did they cost relative to the planned Eq. 8 price, how long did
+// recovery cycles take in simulated time, and where did the deadline
+// budget go. The metrics live on a caller-supplied registry so
+// experiments can snapshot a fresh one per run and stay deterministic.
+
+import "cynthia/internal/obs"
+
+// SLOMetrics aggregates service-level outcomes across finished jobs.
+type SLOMetrics struct {
+	outcomes   *obs.CounterVec
+	attainment *obs.Gauge
+	margin     *obs.Histogram
+	overrun    *obs.Histogram
+	overrunG   *obs.Gauge
+	recovery   *obs.Histogram
+	burn       *obs.GaugeVec
+}
+
+// NewSLOMetrics registers the SLO metric families on reg (the default
+// registry when nil) and returns the recorder. Wire it to
+// Controller.SLO.
+func NewSLOMetrics(reg *obs.Registry) *SLOMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &SLOMetrics{
+		outcomes: reg.CounterVec("cynthia_slo_jobs_total",
+			"finished jobs by deadline outcome (met = within 1.05x the goal)", "outcome"),
+		attainment: reg.Gauge("cynthia_slo_deadline_attainment_ratio",
+			"fraction of finished jobs inside 1.05x their deadline goal"),
+		margin: reg.Histogram("cynthia_slo_deadline_margin_ratio",
+			"training time relative to the 1.05x-relaxed deadline (<=1 means met)",
+			[]float64{0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2}),
+		overrun: reg.Histogram("cynthia_slo_cost_overrun_ratio",
+			"actual cost relative to the planned Eq. 8 cost",
+			[]float64{0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 3}),
+		overrunG: reg.Gauge("cynthia_slo_last_cost_overrun_ratio",
+			"cost overrun ratio of the most recently finished job"),
+		recovery: reg.Histogram("cynthia_slo_recovery_seconds",
+			"simulated seconds consumed per recovery cycle (restore, relaunch, resume)",
+			[]float64{15, 30, 60, 120, 300, 600}),
+		burn: reg.GaugeVec("cynthia_slo_budget_burn_ratio",
+			"fraction of the deadline budget consumed per phase by the last finished job", "phase"),
+	}
+}
+
+// observeJob records one finished (or failed) job's service-level
+// outcome. burnProv/burnTrain/burnRec are the simulated seconds the job
+// spent in each phase. Nil receivers are no-ops so the controller needs
+// no conditionals.
+func (s *SLOMetrics) observeJob(j Job, burnProv, burnTrain, burnRec float64) {
+	if s == nil {
+		return
+	}
+	outcome := "failed"
+	switch j.Status {
+	case StatusSucceeded:
+		outcome = "met"
+	case StatusMissedGoal:
+		outcome = "missed"
+	}
+	s.outcomes.With(outcome).Inc()
+	met := s.outcomes.With("met").Value()
+	total := met + s.outcomes.With("missed").Value() + s.outcomes.With("failed").Value()
+	if total > 0 {
+		s.attainment.Set(float64(met) / float64(total))
+	}
+	if j.Goal.TimeSec > 0 {
+		s.margin.Observe(j.TrainingTime / (j.Goal.TimeSec * 1.05))
+		s.burn.With("provision").Set(burnProv / j.Goal.TimeSec)
+		s.burn.With("train").Set(burnTrain / j.Goal.TimeSec)
+		s.burn.With("recover").Set(burnRec / j.Goal.TimeSec)
+	}
+	if j.Plan.Cost > 0 {
+		r := j.Cost / j.Plan.Cost
+		s.overrun.Observe(r)
+		s.overrunG.Set(r)
+	}
+}
+
+// observeRecovery records the simulated duration of one recovery cycle.
+func (s *SLOMetrics) observeRecovery(simSec float64) {
+	if s == nil {
+		return
+	}
+	s.recovery.Observe(simSec)
+}

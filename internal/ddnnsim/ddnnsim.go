@@ -23,6 +23,7 @@ import (
 	"cynthia/internal/flow"
 	"cynthia/internal/model"
 	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 )
 
 // Trace-track process IDs: the exported Chrome trace groups spans into a
@@ -122,6 +123,17 @@ type Options struct {
 	// simulation under AllocReference and AllocVerify to prove the
 	// incremental allocator bit-exact.
 	AllocMode flow.AllocMode
+	// Journal, when bound, receives flight-recorder events for the
+	// segment: one sim.checkpoint per CheckpointEvery crossing (stamped at
+	// the iteration's completion instant), sim.interrupted when a fault
+	// halts the run, and sim.segment.done on normal completion. Events are
+	// emitted after the engine run from the calling goroutine, in
+	// iteration order, so the journal is deterministic.
+	Journal journal.Binding
+	// JournalBaseSec offsets journal timestamps onto the caller's clock:
+	// the simulation clock starts at 0 every segment, but the controller's
+	// journal runs on the provider clock.
+	JournalBaseSec float64
 }
 
 // IterRecord is one iteration's timing breakdown: for BSP a training
@@ -263,6 +275,7 @@ func Run(w *model.Workload, cluster ClusterSpec, opt Options) (*Result, error) {
 		stop = opt.Horizon
 	}
 	end := s.eng.Run(stop)
+	s.journalCheckpoints()
 	if s.completed < iters {
 		if faultBinds {
 			res := s.result(end)
@@ -272,6 +285,14 @@ func Run(w *model.Workload, cluster ClusterSpec, opt Options) (*Result, error) {
 				res.CheckpointIter = s.completed - s.completed%opt.CheckpointEvery
 			}
 			res.LostIterations = s.completed - res.CheckpointIter
+			if opt.Journal.Enabled() {
+				opt.Journal.EmitAt(opt.JournalBaseSec+end, journal.SimInterrupted,
+					journal.F("role", fault.Role),
+					journal.Fint("index", fault.Index),
+					journal.Fint("completed", s.completed),
+					journal.Fint("checkpoint_iter", res.CheckpointIter),
+					journal.Fint("lost_iterations", res.LostIterations))
+			}
 			obs.Debugf("ddnnsim: fault %s[%d] at %.1fs after %d/%d iterations (%d checkpointed, %d lost)",
 				fault.Role, fault.Index, end, s.completed, iters, res.CheckpointIter, res.LostIterations)
 			return res, nil
@@ -279,7 +300,29 @@ func Run(w *model.Workload, cluster ClusterSpec, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("ddnnsim: horizon %.1fs reached after %d/%d iterations",
 			opt.Horizon, s.completed, iters)
 	}
+	if opt.Journal.Enabled() {
+		opt.Journal.EmitAt(opt.JournalBaseSec+end, journal.SimSegmentDone,
+			journal.Fint("iterations", s.completed),
+			journal.Ffloat("training_sec", end))
+	}
 	return s.result(end), nil
+}
+
+// journalCheckpoints emits one sim.checkpoint event per CheckpointEvery
+// crossing, stamped at the crossing iteration's completion instant. The
+// emission runs after the engine from the single calling goroutine so
+// event order is deterministic.
+func (s *sim) journalCheckpoints() {
+	b := s.opt.Journal
+	every := s.opt.CheckpointEvery
+	if !b.Enabled() || every <= 0 {
+		return
+	}
+	for i := every; i <= s.completed; i += every {
+		b.EmitAt(s.opt.JournalBaseSec+s.iterEnd[i-1], journal.SimCheckpoint,
+			journal.Fint("iter", s.opt.StartIteration+i),
+			journal.Fint("segment_iter", i))
+	}
 }
 
 // earliestFault picks the first scheduled fault and its clamped instant.

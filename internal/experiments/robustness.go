@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"time"
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/cluster"
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
 	"cynthia/internal/plan"
 )
 
@@ -27,6 +30,12 @@ func robustness(cfg Config) ([]*Table, error) {
 	}
 	goal := plan.Goal{TimeSec: 3600, LossTarget: 0.2}
 
+	// Every driven job reports into one fresh SLO registry, so the third
+	// table aggregates service-level outcomes across the whole experiment
+	// and repeated invocations stay deterministic.
+	reg := obs.NewRegistry()
+	slo := cluster.NewSLOMetrics(reg)
+
 	// drive runs one job through a fresh controller whose provider clock
 	// follows simulated time. A job failed by a preemption is a result
 	// here, not an error.
@@ -41,6 +50,7 @@ func robustness(cfg Config) ([]*Table, error) {
 			provider.SetFaultPlan(fp)
 		}
 		ctl := cluster.NewController(master, provider, nil, "")
+		ctl.SLO = slo
 		ctl.AdvanceClock = func(dt float64) { *now += dt }
 		ctl.SimSeed = simSeed
 		ctl.Recovery.Disabled = disabled
@@ -141,5 +151,90 @@ func robustness(cfg Config) ([]*Table, error) {
 	tb.Notes = append(tb.Notes,
 		"each instance is independently revoked with the given probability at a uniform instant",
 		"a job is abandoned after 3 recoveries; abandoned and late jobs both count as missed")
-	return []*Table{ta, tb}, nil
+
+	tc, err := sloTable(reg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{ta, tb, tc}, nil
+}
+
+// sloFamilies is every metric family the flight recorder's SLO layer
+// registers; both export forms must carry all of them.
+var sloFamilies = []string{
+	"cynthia_slo_jobs_total",
+	"cynthia_slo_deadline_attainment_ratio",
+	"cynthia_slo_deadline_margin_ratio",
+	"cynthia_slo_cost_overrun_ratio",
+	"cynthia_slo_last_cost_overrun_ratio",
+	"cynthia_slo_recovery_seconds",
+	"cynthia_slo_budget_burn_ratio",
+}
+
+// sloTable renders the SLO registry into the experiment's third table.
+// Before reading any values it checks that every SLO family appears in
+// both export forms — the Prometheus text scrape and the JSON snapshot —
+// so a regression in either exporter fails the experiment, not just a
+// dashboard.
+func sloTable(reg *obs.Registry) (*Table, error) {
+	var text, js bytes.Buffer
+	if err := reg.WritePrometheus(&text); err != nil {
+		return nil, err
+	}
+	if err := reg.WriteJSON(&js); err != nil {
+		return nil, err
+	}
+	snap := reg.Snapshot()
+	families := make(map[string]obs.FamilySnapshot, len(snap))
+	for _, f := range snap {
+		families[f.Name] = f
+	}
+	for _, name := range sloFamilies {
+		if _, ok := families[name]; !ok {
+			return nil, fmt.Errorf("robustness: SLO family %s missing from snapshot", name)
+		}
+		if !strings.Contains(text.String(), name) {
+			return nil, fmt.Errorf("robustness: SLO family %s missing from Prometheus text export", name)
+		}
+		if !strings.Contains(js.String(), name) {
+			return nil, fmt.Errorf("robustness: SLO family %s missing from JSON snapshot export", name)
+		}
+	}
+
+	outcome := func(label string) float64 {
+		for _, m := range families["cynthia_slo_jobs_total"].Metrics {
+			if m.Labels["outcome"] == label {
+				return m.Value
+			}
+		}
+		return 0
+	}
+	hist := func(name string) (count int64, sum float64) {
+		m := families[name].Metrics[0]
+		return m.Count, m.Sum
+	}
+	met, missed, failed := outcome("met"), outcome("missed"), outcome("failed")
+	attainment := families["cynthia_slo_deadline_attainment_ratio"].Metrics[0].Value
+	recN, recSum := hist("cynthia_slo_recovery_seconds")
+	ovrN, ovrSum := hist("cynthia_slo_cost_overrun_ratio")
+
+	tc := &Table{
+		ID:     "Robustness (SLO)",
+		Title:  "Flight-recorder SLO metrics aggregated over every robustness run",
+		Header: []string{"metric", "value"},
+	}
+	tc.AddRow("jobs met / missed / failed",
+		fmt.Sprintf("%.0f / %.0f / %.0f", met, missed, failed))
+	tc.AddRow("deadline attainment ratio", fmt.Sprintf("%.3f", attainment))
+	tc.AddRow("recovery cycles observed", fmt.Sprintf("%d", recN))
+	if recN > 0 {
+		tc.AddRow("mean recovery time (s)", fmt.Sprintf("%.0f", recSum/float64(recN)))
+	}
+	if ovrN > 0 {
+		tc.AddRow("mean cost overrun ratio", fmt.Sprintf("%.3f", ovrSum/float64(ovrN)))
+	}
+	tc.Notes = append(tc.Notes,
+		"met means finishing within the controller's 1.05x acceptance band around Tg",
+		"the same registry exports identically via Prometheus text and the JSON snapshot")
+	return tc, nil
 }

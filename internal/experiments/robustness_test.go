@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -10,10 +11,10 @@ func TestRobustnessTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
-		t.Fatalf("got %d tables, want 2", len(tables))
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3", len(tables))
 	}
-	targeted, sweep := tables[0], tables[1]
+	targeted, sweep, slo := tables[0], tables[1], tables[2]
 	if len(targeted.Rows) != 5 {
 		t.Fatalf("targeted table has %d rows, want 5 (baseline, 3 preemptions, disabled)", len(targeted.Rows))
 	}
@@ -37,6 +38,38 @@ func TestRobustnessTables(t *testing.T) {
 	}
 	if got := sweep.Rows[0][1]; !strings.HasPrefix(got, "3/3") {
 		t.Errorf("rate 0 attainment = %s, want 3/3", got)
+	}
+
+	// The SLO table aggregates every driven job: 5 targeted runs plus
+	// 4 rates x 3 trials = 17 finished jobs.
+	rows := make(map[string]string, len(slo.Rows))
+	for _, row := range slo.Rows {
+		rows[row[0]] = row[1]
+	}
+	counts := strings.Split(rows["jobs met / missed / failed"], " / ")
+	if len(counts) != 3 {
+		t.Fatalf("malformed outcome row %q", rows["jobs met / missed / failed"])
+	}
+	total := 0
+	for _, c := range counts {
+		n, err := strconv.Atoi(c)
+		if err != nil {
+			t.Fatalf("bad outcome count %q: %v", c, err)
+		}
+		total += n
+	}
+	if total != 17 {
+		t.Errorf("SLO table accounts for %d jobs, want 17", total)
+	}
+	att, err := strconv.ParseFloat(rows["deadline attainment ratio"], 64)
+	if err != nil || att <= 0 || att > 1 {
+		t.Errorf("deadline attainment ratio = %q, want in (0,1]", rows["deadline attainment ratio"])
+	}
+	if rec := rows["recovery cycles observed"]; rec == "0" || rec == "" {
+		t.Errorf("recovery cycles observed = %q, want > 0 (targeted preemptions recovered)", rec)
+	}
+	if _, ok := rows["mean cost overrun ratio"]; !ok {
+		t.Error("SLO table missing mean cost overrun ratio")
 	}
 }
 

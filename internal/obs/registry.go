@@ -217,10 +217,10 @@ type family struct {
 	kind   Kind
 	labels []string
 	bounds []float64 // histograms only
+	reg    *Registry
 
 	mu      sync.RWMutex
 	metrics map[string]any // label-values key -> *Counter/*Gauge/*Histogram
-	order   []string       // insertion order of keys, for stable exposition
 }
 
 func (f *family) get(key string, make func() any) any {
@@ -235,10 +235,26 @@ func (f *family) get(key string, make func() any) any {
 	if m, ok := f.metrics[key]; ok {
 		return m
 	}
+	if cap := f.reg.seriesCap.Load(); cap > 0 && int64(len(f.metrics)) >= cap {
+		panic(fmt.Sprintf("obs: family %s exceeds the series cap (%d): unbounded label cardinality", f.name, cap))
+	}
 	m = make()
 	f.metrics[key] = m
-	f.order = append(f.order, key)
 	return m
+}
+
+// sortedKeys returns the family's child keys sorted lexicographically by
+// label values, so exposition and snapshots are deterministic regardless
+// of creation order.
+func (f *family) sortedKeys() []string {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.metrics))
+	for k := range f.metrics {
+		keys = append(keys, k)
+	}
+	f.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Registry holds metric families. The zero value is not usable; use
@@ -246,9 +262,20 @@ func (f *family) get(key string, make func() any) any {
 // an existing name with a matching kind and label arity returns the same
 // collector, so independent components can share one registry safely.
 type Registry struct {
-	mu       sync.RWMutex
-	families map[string]*family
-	order    []string
+	mu        sync.RWMutex
+	families  map[string]*family
+	order     []string
+	seriesCap atomic.Int64
+}
+
+// SetSeriesCap installs a per-family cardinality guard: once any single
+// family holds cap children, creating one more panics, failing fast on
+// the unbounded-label-cardinality bug class (e.g. a job ID used as a
+// label value) instead of leaking memory until the scrape dies. A cap of
+// 0 (the default) disables the guard; existing children are never
+// affected.
+func (r *Registry) SetSeriesCap(cap int) {
+	r.seriesCap.Store(int64(cap))
 }
 
 // NewRegistry returns an empty registry.
@@ -276,6 +303,7 @@ func (r *Registry) family(name, help string, kind Kind, labels []string, bounds 
 			f = &family{name: name, help: help, kind: kind,
 				labels:  append([]string(nil), labels...),
 				bounds:  append([]float64(nil), bounds...),
+				reg:     r,
 				metrics: make(map[string]any)}
 			r.families[name] = f
 			r.order = append(r.order, name)
@@ -400,7 +428,8 @@ func labelPairs(keys []string, key string, extra ...string) string {
 }
 
 // WritePrometheus renders every family in the Prometheus text exposition
-// format, families in registration order, children in creation order.
+// format, families in registration order, children sorted by label values
+// (deterministic output regardless of creation order).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	names := append([]string(nil), r.order...)
@@ -419,8 +448,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
+		keys := f.sortedKeys()
 		f.mu.RLock()
-		keys := append([]string(nil), f.order...)
 		children := make([]any, len(keys))
 		for i, k := range keys {
 			children[i] = f.metrics[k]
@@ -495,8 +524,8 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	out := make([]FamilySnapshot, 0, len(fams))
 	for _, f := range fams {
 		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		keys := f.sortedKeys()
 		f.mu.RLock()
-		keys := append([]string(nil), f.order...)
 		children := make([]any, len(keys))
 		for i, k := range keys {
 			children[i] = f.metrics[k]

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cynthia/internal/cloud"
+	"cynthia/internal/obs/journal"
 )
 
 // Provisioner plans cost-efficient clusters for (deadline, loss) goals.
@@ -28,6 +29,18 @@ type Provisioner interface {
 	Candidates(ctx context.Context, req Request) ([]Plan, error)
 }
 
+// SearchStats summarizes how hard one search worked: how many instance
+// types were scanned, how many candidates the Theorem 4.1-bounded
+// enumeration actually evaluated versus the unpruned space (Pruned is the
+// difference), and how many evaluated candidates met the goal. Strategies
+// without native stats (e.g. baseline.MarginalGain) leave the zero value.
+type SearchStats struct {
+	Types      int
+	Enumerated int
+	Pruned     int
+	Feasible   int
+}
+
 // Result bundles the two products of one exhaustive search: the plan the
 // strategy selects and the full ranked candidate list. Callers that may
 // need alternatives later — the controller's capacity fallback — run one
@@ -35,6 +48,7 @@ type Provisioner interface {
 type Result struct {
 	Plan   Plan
 	Ranked []Plan
+	Stats  SearchStats
 }
 
 // Searcher is the optional Provisioner extension that produces the chosen
@@ -113,7 +127,7 @@ func (e *Engine) Search(ctx context.Context, req Request) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Plan: pl, Ranked: out.ranked}, nil
+	return Result{Plan: pl, Ranked: out.ranked, Stats: out.stats}, nil
 }
 
 // typeResult is the outcome of scanning one instance type.
@@ -123,6 +137,10 @@ type typeResult struct {
 	haveFirst  bool
 	effort     Plan // fastest-predicted infeasible candidate
 	haveEffort bool
+	bounds     Bounds // Theorem 4.1 bounds, when computable
+	haveBounds bool
+	scanned    int // candidates evaluated for this type
+	feasibleN  int // evaluated candidates meeting the goal
 }
 
 // searchOut is the deterministic reduction of every per-type scan.
@@ -132,6 +150,7 @@ type searchOut struct {
 	effort     Plan
 	haveEffort bool
 	ranked     []Plan
+	stats      SearchStats
 }
 
 // scanType runs the Algorithm 1 inner loops for one instance type over
@@ -147,11 +166,16 @@ func scanType(ctx context.Context, cfg normalized, ev *evaluator, t cloud.Instan
 	if err != nil {
 		return res, nil // unreachable loss target etc.: this type offers nothing
 	}
+	res.bounds, res.haveBounds = bounds, true
 	if bounds.LowerWorkers > cfg.maxWorkers {
 		// The quota alone rules this type out; still expose the quota
 		// point as a best-effort candidate.
 		cand, err := ev.evaluate(t, cfg.maxWorkers, min(bounds.PS, cfg.maxWorkers))
 		if err == nil {
+			res.scanned++
+			if cand.Feasible {
+				res.feasibleN++
+			}
 			if exhaustive {
 				res.cands = append(res.cands, cand)
 			}
@@ -171,10 +195,12 @@ func scanType(ctx context.Context, cfg normalized, ev *evaluator, t cloud.Instan
 		if err != nil {
 			return true
 		}
+		res.scanned++
 		if exhaustive {
 			res.cands = append(res.cands, cand)
 		}
 		if cand.Feasible {
+			res.feasibleN++
 			if !res.haveFirst {
 				res.first, res.haveFirst = cand, true
 			}
@@ -203,7 +229,19 @@ func (e *Engine) search(ctx context.Context, req Request, exhaustive bool) (sear
 		return searchOut{}, err
 	}
 	types := cfg.catalog.Types()
-	m.searchSpace.Add(int64(len(types) * cfg.maxWorkers * (cfg.maxEsc + 1)))
+	searchSpace := len(types) * cfg.maxWorkers * (cfg.maxEsc + 1)
+	m.searchSpace.Add(int64(searchSpace))
+	// The Enabled guards keep the hot path allocation-free when no flight
+	// recorder is attached: field construction formats numbers.
+	if cfg.journal.Enabled() {
+		cfg.journal.Emit(journal.PlanSearchStart,
+			journal.F("workload", cfg.profile.Workload.Name),
+			journal.Ffloat("goal_sec", cfg.goal.TimeSec),
+			journal.Ffloat("loss_target", cfg.goal.LossTarget),
+			journal.Fint("types", len(types)),
+			journal.Fint("max_workers", cfg.maxWorkers),
+			journal.Fint("search_space", searchSpace))
+	}
 
 	par := e.Parallelism
 	if par <= 0 {
@@ -244,8 +282,11 @@ func (e *Engine) search(ctx context.Context, req Request, exhaustive bool) (sear
 		}
 	}
 
+	// The reduce — and every journal emission — walks per-type results in
+	// catalog order, so the journal is deterministic at any parallelism.
 	var out searchOut
-	for _, r := range results {
+	out.stats.Types = len(types)
+	for i, r := range results {
 		if r.haveFirst && (!out.haveBest || r.first.Cost < out.best.Cost) {
 			out.best, out.haveBest = r.first, true
 		}
@@ -253,9 +294,36 @@ func (e *Engine) search(ctx context.Context, req Request, exhaustive bool) (sear
 			out.effort, out.haveEffort = r.effort, true
 		}
 		out.ranked = append(out.ranked, r.cands...)
+		out.stats.Enumerated += r.scanned
+		out.stats.Feasible += r.feasibleN
+		if cfg.journal.Enabled() && r.haveBounds {
+			cfg.journal.Emit(journal.PlanTypeScanned,
+				journal.F("type", types[i].Name),
+				journal.Fint("lower_workers", r.bounds.LowerWorkers),
+				journal.Fint("upper_workers", r.bounds.UpperWorkers),
+				journal.Fint("min_ps", r.bounds.PS),
+				journal.Ffloat("ratio", r.bounds.Ratio),
+				journal.Fint("enumerated", r.scanned),
+				journal.Fint("feasible", r.feasibleN))
+		}
 	}
+	out.stats.Pruned = max(searchSpace-out.stats.Enumerated, 0)
 	if exhaustive {
 		Rank(out.ranked)
+	}
+	outcome := "none"
+	switch {
+	case out.haveBest:
+		outcome = "feasible"
+	case out.haveEffort:
+		outcome = "best_effort"
+	}
+	if cfg.journal.Enabled() {
+		cfg.journal.Emit(journal.PlanSearchDone,
+			journal.Fint("enumerated", out.stats.Enumerated),
+			journal.Fint("pruned", out.stats.Pruned),
+			journal.Fint("feasible", out.stats.Feasible),
+			journal.F("outcome", outcome))
 	}
 	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/model"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/perf"
 )
 
@@ -25,6 +26,7 @@ type normalized struct {
 	maxEsc     int
 	maxWorkers int
 	goal       Goal
+	journal    journal.Binding
 }
 
 // Normalize validates the request and applies every default exactly once:
@@ -94,6 +96,7 @@ func (req Request) normalize() (normalized, error) {
 		maxEsc:     maxEsc,
 		maxWorkers: nr.MaxWorkers,
 		goal:       nr.Goal,
+		journal:    nr.Journal.WithSource("plan"),
 	}, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"cynthia/internal/cloud"
 	"cynthia/internal/model"
 	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/perf"
 )
 
@@ -268,6 +269,13 @@ type Request struct {
 	// selects DefaultHeadroom; NoHeadroom (any negative value) disables
 	// the reserve.
 	Headroom float64
+	// Journal, when bound, receives the search's flight-recorder events
+	// (plan.search.start, per-type bound/enumeration records, and
+	// plan.search.done with the Theorem 4.1 pruning counts), correlated
+	// with the caller's trace and job IDs. Events are emitted after the
+	// deterministic reduce, never from the parallel scan goroutines, so
+	// journal order is identical at any parallelism.
+	Journal journal.Binding
 }
 
 // DefaultMaxWorkers matches the paper's 56-docker testbed.

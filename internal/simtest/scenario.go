@@ -21,6 +21,7 @@ import (
 	"cynthia/internal/cloud"
 	"cynthia/internal/cluster"
 	"cynthia/internal/model"
+	"cynthia/internal/obs/journal"
 	"cynthia/internal/plan"
 )
 
@@ -128,9 +129,18 @@ func (s *Scenario) Save(path string) error {
 // deterministic: the simulator seed, the fault plan's seed, and the
 // provider clock all derive from the scenario file.
 func RunScenario(s *Scenario) (*Outcome, error) {
+	out, _, err := RunScenarioDetailed(s)
+	return out, err
+}
+
+// RunScenarioDetailed is RunScenario plus the run's flight-recorder
+// journal. The journal runs in deterministic mode (no wall clock) on the
+// simulated provider clock, so two replays of the same scenario produce
+// byte-identical canonical JSONL.
+func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
 	w, err := model.WorkloadByName(s.Workload)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch s.Sync {
 	case "":
@@ -139,7 +149,7 @@ func RunScenario(s *Scenario) (*Outcome, error) {
 	case "asp":
 		w = w.WithSync(model.ASP)
 	default:
-		return nil, fmt.Errorf("scenario %s: unknown sync mode %q", s.Name, s.Sync)
+		return nil, nil, fmt.Errorf("scenario %s: unknown sync mode %q", s.Name, s.Sync)
 	}
 	if s.Iterations > 0 {
 		w = w.WithIterations(s.Iterations)
@@ -147,10 +157,17 @@ func RunScenario(s *Scenario) (*Outcome, error) {
 
 	master, err := cluster.NewMaster()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	now := new(float64)
 	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
+	// Deterministic flight recorder: timestamps come from the simulated
+	// provider clock only, never the wall clock, so the canonical JSONL is
+	// reproducible byte for byte. The capacity comfortably holds a full
+	// replay, so nothing wraps out of the ring.
+	jrnl := journal.New(16384, journal.Deterministic())
+	master.SetJournal(jrnl, func() float64 { return *now })
+	provider.SetJournal(jrnl)
 	if s.Fault != nil {
 		provider.SetFaultPlan(s.Fault.plan())
 	}
@@ -169,12 +186,12 @@ func RunScenario(s *Scenario) (*Outcome, error) {
 	case "marginalgain":
 		ctl.UseProvisioner(baseline.MarginalGain{})
 	default:
-		return nil, fmt.Errorf("scenario %s: unknown provisioner %q", s.Name, s.Provisioner)
+		return nil, nil, fmt.Errorf("scenario %s: unknown provisioner %q", s.Name, s.Provisioner)
 	}
 
 	job, err := ctl.Submit(w, plan.Goal{TimeSec: s.GoalTimeSec, LossTarget: s.LossTarget})
 	if job == nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &Outcome{
 		Status:         string(job.Status),
@@ -195,5 +212,5 @@ func RunScenario(s *Scenario) (*Outcome, error) {
 	for _, st := range job.History {
 		out.History = append(out.History, string(st))
 	}
-	return out, nil
+	return out, jrnl, nil
 }

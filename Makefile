@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race stress bench bench-obs bench-json bench-check coverage fuzz-smoke check
+.PHONY: all build vet test race stress bench bench-obs bench-json bench-check coverage fuzz-smoke planload-smoke check
 
 # The hot-path packages whose benchmarks form the committed perf
 # trajectory (BENCH_flow.json): the flow engine, the simulator built on
@@ -10,6 +10,11 @@ BENCH_HOT = ./internal/flow ./internal/ddnnsim ./internal/plan
 # The flight-recorder benchmarks gate separately (BENCH_obs.json):
 # steady-state journal appends must stay allocation-free.
 BENCH_OBS = ./internal/obs/journal
+
+# The plan-service benchmarks gate separately (BENCH_plan.json): the
+# cached-hit path must stay allocation-free and >=10x faster than the
+# no-cache reference that pays a full Theorem 4.1 search per request.
+BENCH_PLAN = ./internal/plan/service
 
 all: check
 
@@ -48,6 +53,7 @@ bench-obs:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out BENCH_flow.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out BENCH_obs.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_PLAN) | $(GO) run ./cmd/benchjson parse -out BENCH_plan.json
 
 # bench-check re-runs the same benchmarks and gates against the committed
 # baseline, benchstat-style: allocs/op must not rise, incremental vs
@@ -60,13 +66,16 @@ bench-check:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out .bench_obs.json
 	$(GO) run ./cmd/benchjson compare -baseline BENCH_obs.json -current .bench_obs.json -threshold 10 -min-speedup 0
 	@rm -f .bench_obs.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_PLAN) | $(GO) run ./cmd/benchjson parse -out .bench_plan.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_plan.json -current .bench_plan.json -threshold 10 -min-speedup 10
+	@rm -f .bench_plan.json
 
 # coverage enforces per-package statement-coverage floors on the search
 # core, the flow model, and the recovery state machine. Floors sit a few
 # points under the measured numbers so a coverage regression fails CI
 # without turning every refactor into a fight with the gate.
 coverage:
-	@set -e; for spec in internal/plan:80 internal/flow:80 internal/cluster:85 internal/obs:80 internal/obs/journal:80; do \
+	@set -e; for spec in internal/plan:80 internal/plan/service:90 internal/flow:80 internal/cluster:85 internal/obs:80 internal/obs/journal:80; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		$(GO) test -count=1 -coverprofile=.cover.out ./$$pkg >/dev/null; \
 		total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
@@ -82,5 +91,11 @@ fuzz-smoke:
 	$(GO) test ./internal/plan -run '^$$' -fuzz '^FuzzRequestNormalize$$' -fuzztime 5s
 	$(GO) test ./internal/loss -run '^$$' -fuzz '^FuzzFit$$' -fuzztime 5s
 	$(GO) test ./internal/cloud -run '^$$' -fuzz '^FuzzFaultPlanSchedule$$' -fuzztime 5s
+
+# planload-smoke drives the plan endpoint end to end for a moment: an
+# in-process master, concurrent clients, and a non-zero hit ratio
+# (asserted by the tool exiting non-zero when no plans succeed).
+planload-smoke:
+	$(GO) run ./cmd/planload -concurrency 16 -duration 2s
 
 check: vet build race coverage

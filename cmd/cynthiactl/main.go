@@ -6,7 +6,8 @@
 //	cynthiactl get pods [jobID]
 //	cynthiactl get jobs
 //	cynthiactl get job <id>
-//	cynthiactl submit -workload "cifar10 DNN" -deadline 5400 -loss 0.8
+//	cynthiactl submit -workload "cifar10 DNN" -deadline 5400 -loss 0.8 [-async]
+//	cynthiactl plan -workload "cifar10 DNN" -deadline 5400 -loss 0.8
 //	cynthiactl timeline <jobID> [-format text|json|chrome]
 //	cynthiactl events [-after N] [-job id] [-follow] [-interval 2s]
 package main
@@ -68,22 +69,38 @@ func run(server string, args []string) error {
 		workload := fs.String("workload", "cifar10 DNN", "workload name")
 		deadline := fs.Float64("deadline", 5400, "deadline in seconds")
 		lossTarget := fs.Float64("loss", 0.8, "target loss")
+		async := fs.Bool("async", false, "return the job ID immediately instead of waiting for the run")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		body, err := json.Marshal(map[string]any{
-			"workload":     *workload,
-			"deadline_sec": *deadline,
-			"loss_target":  *lossTarget,
-		})
-		if err != nil {
-			return err
+		u := base + "/api/jobs"
+		if *async {
+			u += "?wait=false"
 		}
-		resp, err := http.Post(base+"/api/jobs", "application/json", bytes.NewReader(body))
+		resp, err := postGoal(u, *workload, *deadline, *lossTarget)
 		if err != nil {
 			return err
 		}
 		defer resp.Body.Close()
+		return dump(resp)
+	case "plan":
+		// Quote a submission without provisioning: the master answers
+		// from the plan service and reports how in the X-Cache header.
+		fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+		workload := fs.String("workload", "cifar10 DNN", "workload name")
+		deadline := fs.Float64("deadline", 5400, "deadline in seconds")
+		lossTarget := fs.Float64("loss", 0.8, "target loss")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		resp, err := postGoal(base+"/api/plan", *workload, *deadline, *lossTarget)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if c := resp.Header.Get("X-Cache"); c != "" {
+			fmt.Printf("cache: %s\n", c)
+		}
 		return dump(resp)
 	case "timeline":
 		fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
@@ -117,6 +134,19 @@ func run(server string, args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// postGoal POSTs the shared submit/quote payload.
+func postGoal(u, workload string, deadline, lossTarget float64) (*http.Response, error) {
+	body, err := json.Marshal(map[string]any{
+		"workload":     workload,
+		"deadline_sec": deadline,
+		"loss_target":  lossTarget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return http.Post(u, "application/json", bytes.NewReader(body))
 }
 
 // followEvents streams the flight recorder's canonical JSONL to stdout.

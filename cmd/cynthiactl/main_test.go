@@ -49,6 +49,34 @@ func TestSubmitAndGetJob(t *testing.T) {
 	}
 }
 
+func TestPlanQuote(t *testing.T) {
+	addr := startMaster(t)
+	// Quote twice (second answer comes from the plan cache), then check
+	// no job was registered by either.
+	for i := 0; i < 2; i++ {
+		if err := run(addr, []string{"plan", "-workload", "mnist DNN", "-deadline", "1800", "-loss", "0.2"}); err != nil {
+			t.Fatalf("plan failed: %v", err)
+		}
+	}
+	if err := run(addr, []string{"get", "job", "job-1"}); err == nil {
+		t.Error("plan quote registered a job")
+	}
+	// An unreachable goal surfaces the server's 422 as a CLI error.
+	if err := run(addr, []string{"plan", "-workload", "VGG-19", "-deadline", "3600", "-loss", "0.1"}); err == nil {
+		t.Error("infeasible quote did not error")
+	}
+}
+
+func TestAsyncSubmitReturnsAccepted(t *testing.T) {
+	addr := startMaster(t)
+	if err := run(addr, []string{"submit", "-async", "-workload", "mnist DNN", "-deadline", "1800", "-loss", "0.2"}); err != nil {
+		t.Fatalf("async submit failed: %v", err)
+	}
+	if err := run(addr, []string{"get", "job", "job-1"}); err != nil {
+		t.Errorf("get job after async submit failed: %v", err)
+	}
+}
+
 func TestTimelineAndEvents(t *testing.T) {
 	addr := startMaster(t)
 	if err := run(addr, []string{"submit", "-workload", "mnist DNN", "-deadline", "1800", "-loss", "0.2"}); err != nil {

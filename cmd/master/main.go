@@ -12,12 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/cluster"
@@ -41,10 +46,10 @@ func main() {
 // banner prints. Split from run so tests can serve the handler from
 // httptest instead of a real listener. With pprofOn the debug mux also
 // serves the net/http/pprof profiles (and enables block profiling).
-func setup(gpu, pprofOn bool) (http.Handler, *cluster.Master, *cloud.Catalog, error) {
+func setup(gpu, pprofOn bool) (http.Handler, *cluster.API, *cluster.Master, *cloud.Catalog, error) {
 	master, err := cluster.NewMaster()
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	catalog := cloud.DefaultCatalog()
 	if gpu {
@@ -70,11 +75,15 @@ func setup(gpu, pprofOn bool) (http.Handler, *cluster.Master, *cloud.Catalog, er
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	return handler, master, catalog, nil
+	return handler, api, master, catalog, nil
 }
 
+// drainTimeout bounds how long shutdown waits for in-flight and queued
+// jobs after the listener closes.
+const drainTimeout = 30 * time.Second
+
 func run(addr string, gpu, pprofOn bool) error {
-	handler, master, catalog, err := setup(gpu, pprofOn)
+	handler, api, master, catalog, err := setup(gpu, pprofOn)
 	if err != nil {
 		return err
 	}
@@ -84,5 +93,33 @@ func run(addr string, gpu, pprofOn bool) error {
 	if pprofOn {
 		fmt.Printf("master: pprof profiles on http://%s/debug/pprof/\n", addr)
 	}
-	return http.ListenAndServe(addr, handler)
+
+	// SIGTERM/SIGINT stop the listener, then drain: in-flight HTTP
+	// requests finish, queued jobs run to completion (bounded), and the
+	// plan service shuts down.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Println("master: shutting down, draining in-flight jobs")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := api.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("master: drained, bye")
+	return nil
 }

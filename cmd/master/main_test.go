@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -12,7 +13,7 @@ import (
 
 func newTestServer(t *testing.T, gpu bool) *httptest.Server {
 	t.Helper()
-	handler, _, _, err := setup(gpu, false)
+	handler, _, _, _, err := setup(gpu, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestTimelineEndToEnd(t *testing.T) {
 // TestPprofFlagMountsProfiles pins what -pprof adds: the net/http/pprof
 // index appears on the debug mux, and the API keeps working beside it.
 func TestPprofFlagMountsProfiles(t *testing.T) {
-	handler, _, _, err := setup(false, true)
+	handler, _, _, _, err := setup(false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,14 +222,81 @@ func TestPprofFlagMountsProfiles(t *testing.T) {
 	}
 }
 
-// TestGPUFlagSelectsExtendedCatalog pins what -gpu changes: the provider
-// catalog grows from the paper's four CPU families to the extended set.
-func TestGPUFlagSelectsExtendedCatalog(t *testing.T) {
-	_, _, def, err := setup(false, false)
+// TestPlanEndpointServed pins that the plan service is wired into the
+// served mux: a repeated quote comes back from the cache with no job
+// registered.
+func TestPlanEndpointServed(t *testing.T) {
+	srv := newTestServer(t, false)
+	body := `{"workload": "mnist DNN", "deadline_sec": 3600, "loss_target": 0.2}`
+	var cache []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/api/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /api/plan: %s", resp.Status)
+		}
+		cache = append(cache, resp.Header.Get("X-Cache"))
+	}
+	if cache[0] != "miss" || cache[1] != "hit" {
+		t.Errorf("X-Cache sequence = %v, want [miss hit]", cache)
+	}
+	var jobs []map[string]any
+	getJSON(t, srv.URL+"/api/jobs", &jobs)
+	if len(jobs) != 0 {
+		t.Errorf("quotes registered %d jobs", len(jobs))
+	}
+}
+
+// TestDrainAfterShutdown exercises the SIGTERM path's drain step: after
+// the listener closes, queued work finishes and new submissions are
+// refused.
+func TestDrainAfterShutdown(t *testing.T) {
+	handler, api, _, _, err := setup(false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, ext, err := setup(true, false)
+	srv := httptest.NewServer(handler)
+	body := `{"workload": "mnist DNN", "deadline_sec": 3600, "loss_target": 0.2}`
+	resp, err := http.Post(srv.URL+"/api/jobs?wait=false", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %s", resp.Status)
+	}
+	if err := api.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The accepted job ran to completion during the drain.
+	var job map[string]any
+	getJSON(t, srv.URL+"/api/jobs/job-1", &job)
+	if job["status"] != "succeeded" {
+		t.Errorf("drained job status = %v, want succeeded", job["status"])
+	}
+	// Admission is closed for good.
+	resp, err = http.Post(srv.URL+"/api/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("post-drain submit: %s, want 429", resp.Status)
+	}
+	srv.Close()
+}
+
+// TestGPUFlagSelectsExtendedCatalog pins what -gpu changes: the provider
+// catalog grows from the paper's four CPU families to the extended set.
+func TestGPUFlagSelectsExtendedCatalog(t *testing.T) {
+	_, _, _, def, err := setup(false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, ext, err := setup(true, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSmoke drives a short in-process run and checks the summary: on a
+// repeated mix nearly everything after the first ask of each question
+// is a cache hit.
+func TestSmoke(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "planload.json")
+	if err := run("", 8, 300*time.Millisecond, 1, false, jsonPath, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Plans == 0 || s.Errors > 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Hits+s.Misses+s.Coalesced != s.Plans {
+		t.Errorf("outcomes do not add up: %+v", s)
+	}
+	if s.HitRatio < 0.5 {
+		t.Errorf("hit ratio %.2f on a repeated mix, want >= 0.5", s.HitRatio)
+	}
+	if s.P50Ms <= 0 || s.P99Ms < s.P50Ms {
+		t.Errorf("implausible quantiles: %+v", s)
+	}
+}
+
+// TestNoCacheSmoke pins the -nocache reference path: every request
+// searches, so there are no hits by construction.
+func TestNoCacheSmoke(t *testing.T) {
+	if err := run("", 4, 150*time.Millisecond, 1, true, "", os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run("", 0, time.Millisecond, 1, false, "", os.Stdout); err == nil {
+		t.Error("concurrency 0 accepted")
+	}
+	if err := run("127.0.0.1:1", 1, time.Millisecond, 1, true, "", os.Stdout); err == nil {
+		t.Error("-nocache with -server accepted")
+	}
+}

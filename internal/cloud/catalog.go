@@ -14,6 +14,8 @@ package cloud
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // InstanceType describes one catalog entry. Capacities are per docker
@@ -45,21 +47,44 @@ func (t InstanceType) String() string {
 	return fmt.Sprintf("%s (%.1f GFLOPS, %.0f MB/s, $%.3f/h)", t.Name, t.GFLOPS, t.NetMBps, t.PricePerHour)
 }
 
-// Catalog is a set of instance types keyed by name.
+// Catalog is a set of instance types keyed by name. A catalog may be
+// mutated after construction (spot repricing, new families coming online);
+// every mutation bumps its epoch, which cross-request plan caches fold
+// into their keys so cached plans computed against stale prices can never
+// be served again. All methods are safe for concurrent use.
 type Catalog struct {
+	id uint64 // process-unique identity, for cache keys
+
+	mu    sync.RWMutex
 	types map[string]InstanceType
+	epoch atomic.Uint64
+}
+
+// catalogIDs hands each catalog a process-unique identity, so caches
+// keyed on (catalog, epoch) never confuse two catalogs that happen to
+// share an epoch count.
+var catalogIDs atomic.Uint64
+
+func validateType(t InstanceType) error {
+	if t.Name == "" {
+		return fmt.Errorf("cloud: instance type with empty name")
+	}
+	if t.GFLOPS <= 0 || t.NetMBps <= 0 || t.PricePerHour <= 0 {
+		return fmt.Errorf("cloud: instance type %s has non-positive attributes", t.Name)
+	}
+	return nil
 }
 
 // NewCatalog returns a catalog holding the given types. Duplicate names are
 // rejected.
 func NewCatalog(types ...InstanceType) (*Catalog, error) {
-	c := &Catalog{types: make(map[string]InstanceType, len(types))}
+	c := &Catalog{
+		id:    catalogIDs.Add(1),
+		types: make(map[string]InstanceType, len(types)),
+	}
 	for _, t := range types {
-		if t.Name == "" {
-			return nil, fmt.Errorf("cloud: instance type with empty name")
-		}
-		if t.GFLOPS <= 0 || t.NetMBps <= 0 || t.PricePerHour <= 0 {
-			return nil, fmt.Errorf("cloud: instance type %s has non-positive attributes", t.Name)
+		if err := validateType(t); err != nil {
+			return nil, err
 		}
 		if _, dup := c.types[t.Name]; dup {
 			return nil, fmt.Errorf("cloud: duplicate instance type %s", t.Name)
@@ -69,9 +94,62 @@ func NewCatalog(types ...InstanceType) (*Catalog, error) {
 	return c, nil
 }
 
+// ID returns the catalog's process-unique identity.
+func (c *Catalog) ID() uint64 { return c.id }
+
+// Epoch returns the mutation epoch: 0 for a freshly built catalog,
+// incremented by every SetPrice, Upsert, or Remove. Plan caches key on
+// (ID, Epoch, workload fingerprint), so reading the epoch before a search
+// and keying the result on it makes stale cache entries unreachable the
+// instant the catalog changes.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
+
+// SetPrice reprices one instance type and bumps the epoch.
+func (c *Catalog) SetPrice(name string, pricePerHour float64) error {
+	if pricePerHour <= 0 {
+		return fmt.Errorf("cloud: price %.4f for %s must be positive", pricePerHour, name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.types[name]
+	if !ok {
+		return fmt.Errorf("cloud: unknown instance type %q", name)
+	}
+	t.PricePerHour = pricePerHour
+	c.types[name] = t
+	c.epoch.Add(1)
+	return nil
+}
+
+// Upsert adds or replaces one instance type and bumps the epoch.
+func (c *Catalog) Upsert(t InstanceType) error {
+	if err := validateType(t); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.types[t.Name] = t
+	c.epoch.Add(1)
+	return nil
+}
+
+// Remove deletes one instance type and bumps the epoch.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.types[name]; !ok {
+		return fmt.Errorf("cloud: unknown instance type %q", name)
+	}
+	delete(c.types, name)
+	c.epoch.Add(1)
+	return nil
+}
+
 // Lookup returns the instance type with the given name.
 func (c *Catalog) Lookup(name string) (InstanceType, error) {
+	c.mu.RLock()
 	t, ok := c.types[name]
+	c.mu.RUnlock()
 	if !ok {
 		return InstanceType{}, fmt.Errorf("cloud: unknown instance type %q", name)
 	}
@@ -80,16 +158,22 @@ func (c *Catalog) Lookup(name string) (InstanceType, error) {
 
 // Types returns all instance types sorted by name.
 func (c *Catalog) Types() []InstanceType {
+	c.mu.RLock()
 	out := make([]InstanceType, 0, len(c.types))
 	for _, t := range c.types {
 		out = append(out, t)
 	}
+	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Len returns the number of types in the catalog.
-func (c *Catalog) Len() int { return len(c.types) }
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.types)
+}
 
 // Default instance names used throughout the reproduction.
 const (

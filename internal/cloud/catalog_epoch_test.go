@@ -1,0 +1,87 @@
+package cloud
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCatalogEpochBumpsOnMutation(t *testing.T) {
+	c := DefaultCatalog()
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh catalog epoch = %d, want 0", c.Epoch())
+	}
+	if err := c.SetPrice(M4XLarge, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 1 {
+		t.Errorf("epoch after SetPrice = %d, want 1", c.Epoch())
+	}
+	got, err := c.Lookup(M4XLarge)
+	if err != nil || got.PricePerHour != 0.25 {
+		t.Errorf("Lookup after SetPrice = %+v, %v", got, err)
+	}
+	if err := c.Upsert(InstanceType{Name: "x1.new", GFLOPS: 1, NetMBps: 1, PricePerHour: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("x1.new"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 3 {
+		t.Errorf("epoch after SetPrice+Upsert+Remove = %d, want 3", c.Epoch())
+	}
+}
+
+func TestCatalogMutationValidation(t *testing.T) {
+	c := DefaultCatalog()
+	if err := c.SetPrice(M4XLarge, 0); err == nil {
+		t.Error("non-positive price accepted")
+	}
+	if err := c.SetPrice("no-such-type", 1); err == nil {
+		t.Error("repricing an unknown type accepted")
+	}
+	if err := c.Remove("no-such-type"); err == nil {
+		t.Error("removing an unknown type accepted")
+	}
+	if err := c.Upsert(InstanceType{Name: "", GFLOPS: 1, NetMBps: 1, PricePerHour: 1}); err == nil {
+		t.Error("upserting a nameless type accepted")
+	}
+	if c.Epoch() != 0 {
+		t.Errorf("rejected mutations bumped the epoch to %d", c.Epoch())
+	}
+}
+
+func TestCatalogIDsAreUnique(t *testing.T) {
+	a, b := DefaultCatalog(), DefaultCatalog()
+	if a.ID() == b.ID() {
+		t.Errorf("two catalogs share ID %d", a.ID())
+	}
+}
+
+// TestCatalogConcurrentAccess exercises readers racing mutators; run
+// under -race this pins the locking discipline.
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := DefaultCatalog()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = c.Types()
+				_, _ = c.Lookup(M4XLarge)
+				_ = c.Len()
+				_ = c.Epoch()
+			}
+		}()
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = c.SetPrice(M4XLarge, 0.20+float64(i*100+j)*1e-6)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Epoch() != 400 {
+		t.Errorf("epoch = %d after 400 mutations", c.Epoch())
+	}
+}

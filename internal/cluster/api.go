@@ -1,40 +1,82 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cynthia/internal/model"
+	"cynthia/internal/obs"
 	"cynthia/internal/obs/journal"
 	"cynthia/internal/plan"
+	"cynthia/internal/plan/service"
 )
 
 // API exposes the control plane over HTTP, the way the prototype's master
 // node would to kubectl-style tooling:
 //
-//	GET  /healthz           -> "ok"
-//	GET  /api/nodes         -> []Node
-//	GET  /api/pods?job=...  -> []Pod
-//	GET  /api/jobs          -> []Job
-//	GET  /api/jobs/{id}     -> Job
-//	POST /api/jobs          -> submit {"workload": "...", "deadline_sec": ..., "loss_target": ...}
+//	GET  /healthz             -> "ok"
+//	GET  /api/nodes           -> []Node
+//	GET  /api/pods?job=...    -> []Pod
+//	GET  /api/jobs            -> []Job
+//	GET  /api/jobs/{id}       -> Job
+//	POST /api/jobs[?wait=...] -> submit {"workload": "...", "deadline_sec": ..., "loss_target": ...}
+//	POST /api/plan            -> quote the same payload without provisioning
 //
-// Submissions run synchronously through the controller (profile, plan,
-// provision, train, tear down) and return the finished Job.
+// Submissions run through the controller's bounded workqueue: by default
+// the handler waits for the pipeline (profile, plan, provision, train,
+// tear down) and returns the finished Job; ?wait=false returns 202 with
+// the job ID immediately. A full queue — or an overloaded plan service —
+// is 429 with Retry-After. POST /api/plan answers through the plan
+// service's cross-request cache and reports how via the X-Cache header
+// (hit, miss, or coalesced).
 type API struct {
 	master     *Master
 	controller *Controller
-
-	mu sync.Mutex // serializes submissions
+	plans      *service.Service
+	planSeq    atomic.Uint64 // mints trace IDs for untraced quotes
 }
 
-// NewAPI builds the HTTP layer over a master and its controller.
-func NewAPI(master *Master, controller *Controller) *API {
-	return &API{master: master, controller: controller}
+// APIOption customizes NewAPI.
+type APIOption func(*API)
+
+// WithPlanService substitutes a pre-configured plan service (tests use
+// tiny queues to force overload; planload shares one in-process).
+func WithPlanService(s *service.Service) APIOption {
+	return func(a *API) { a.plans = s }
+}
+
+// NewAPI builds the HTTP layer over a master and its controller. Unless
+// overridden, it runs a default-sized plan service against the
+// controller's live catalog.
+func NewAPI(master *Master, controller *Controller, opts ...APIOption) *API {
+	a := &API{master: master, controller: controller}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.plans == nil {
+		a.plans = service.New(service.Config{Catalog: controller.provider.Catalog()})
+	}
+	return a
+}
+
+// PlanService exposes the quote cache (stats, shutdown).
+func (a *API) PlanService() *service.Service { return a.plans }
+
+// Drain stops admitting new work and waits for what is already in
+// flight: queued jobs finish (bounded by ctx), then the plan service
+// shuts down. The server's SIGTERM path calls this after the listener
+// closes.
+func (a *API) Drain(ctx context.Context) error {
+	err := a.controller.DrainQueue(ctx)
+	a.plans.Close()
+	return err
 }
 
 // Handler returns the route table as an http.Handler.
@@ -49,6 +91,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /api/jobs", a.getJobs)
 	mux.HandleFunc("GET /api/jobs/{id}", a.getJob)
 	mux.HandleFunc("POST /api/jobs", a.postJob)
+	mux.HandleFunc("POST /api/plan", a.postPlan)
 	mux.HandleFunc("GET /debug/jobs/{id}/timeline", a.getTimeline)
 	mux.HandleFunc("GET /debug/journal", a.getJournal)
 	return mux
@@ -101,10 +144,41 @@ func toResponse(j Job) JobResponse {
 	return resp
 }
 
+// apiMetrics count response-write failures (client gone mid-response,
+// or a value that does not serialize). These were silently swallowed
+// before; now they land on a counter, with one debug log line per
+// process so a flood of disconnects cannot spam the log.
+type apiMetrics struct {
+	writeErrors *obs.Counter
+	logOnce     sync.Once
+}
+
+var (
+	apiOnce sync.Once
+	apiM    apiMetrics
+)
+
+func writeErrorsCounter() *obs.Counter {
+	apiOnce.Do(func() {
+		apiM.writeErrors = obs.Default().Counter("cluster_api_write_errors",
+			"HTTP response encode/write failures (client disconnects, serialization errors)")
+	})
+	return apiM.writeErrors
+}
+
+func countWriteError(where string, err error) {
+	writeErrorsCounter().Inc()
+	apiM.logOnce.Do(func() {
+		obs.Debugf("cluster: api response write failed in %s: %v (further failures only counted in cluster_api_write_errors)", where, err)
+	})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		countWriteError("writeJSON", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -133,12 +207,17 @@ func (a *API) getNodes(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) getEvents(w http.ResponseWriter, r *http.Request) {
+	// strconv.Atoi, not fmt.Sscanf: Sscanf stops at the first
+	// non-digit, silently accepting "3junk" (and negatives walked the
+	// event log backwards).
 	after := 0
 	if s := r.URL.Query().Get("after"); s != "" {
-		if _, err := fmt.Sscanf(s, "%d", &after); err != nil {
-			writeError(w, http.StatusBadRequest, "bad after=%q", s)
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad after=%q (want a non-negative integer)", s)
 			return
 		}
+		after = v
 	}
 	events := a.master.Events(after)
 	if events == nil {
@@ -223,48 +302,157 @@ func (a *API) getJournal(w http.ResponseWriter, r *http.Request) {
 		}
 		buf = journal.AppendJSONL(buf[:0], e)
 		if _, err := w.Write(buf); err != nil {
+			countWriteError("getJournal", err)
 			return
 		}
 	}
 }
 
-func (a *API) postJob(w http.ResponseWriter, r *http.Request) {
+// decodeJobRequest parses and validates the submission/quote payload.
+func decodeJobRequest(r *http.Request) (*model.Workload, plan.Goal, error) {
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
+		return nil, plan.Goal{}, fmt.Errorf("bad request body: %v", err)
 	}
 	if strings.TrimSpace(req.Workload) == "" {
-		writeError(w, http.StatusBadRequest, "workload is required")
-		return
+		return nil, plan.Goal{}, fmt.Errorf("workload is required")
 	}
 	workload, err := model.WorkloadByName(req.Workload)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, plan.Goal{}, err
 	}
 	goal := plan.Goal{TimeSec: req.DeadlineSec, LossTarget: req.LossTarget}
 	if err := goal.Validate(); err != nil {
+		return nil, plan.Goal{}, err
+	}
+	return workload, goal, nil
+}
+
+func (a *API) postJob(w http.ResponseWriter, r *http.Request) {
+	workload, goal, err := decodeJobRequest(r)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	a.mu.Lock()
-	// The correlation ID is minted at the edge: callers may thread their
-	// own through the X-Trace-ID header; otherwise the controller mints a
-	// deterministic one from the submission sequence.
-	job, err := a.controller.SubmitTraced(workload, goal, r.Header.Get("X-Trace-ID"))
-	a.mu.Unlock()
-	if err != nil {
-		// The job record still carries the failure detail.
-		status := http.StatusUnprocessableEntity
-		if job == nil {
-			writeError(w, status, "%v", err)
+	wait := true
+	if s := r.URL.Query().Get("wait"); s != "" {
+		v, perr := strconv.ParseBool(s)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "bad wait=%q (want true or false)", s)
 			return
 		}
-		writeJSON(w, status, toResponse(*job))
+		wait = v
+	}
+	// The correlation ID is minted at the edge: callers may thread their
+	// own through the X-Trace-ID header; otherwise the controller mints a
+	// deterministic one from the submission sequence. The submission goes
+	// through the controller's bounded workqueue either way — a full
+	// queue rejects it here rather than piling waiters on a mutex.
+	job, err := a.controller.Enqueue(workload, goal, r.Header.Get("X-Trace-ID"))
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQueueClosed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, toResponse(*job))
+	if !wait {
+		snap, _ := a.controller.Job(job.ID)
+		writeJSON(w, http.StatusAccepted, toResponse(snap))
+		return
+	}
+	if err := a.controller.Wait(r.Context(), job.ID); err != nil {
+		// The client gave up; the job keeps running. Report what we have.
+		snap, _ := a.controller.Job(job.ID)
+		writeJSON(w, http.StatusAccepted, toResponse(snap))
+		return
+	}
+	snap, _ := a.controller.Job(job.ID)
+	if snap.Status == StatusFailed {
+		// The job record carries the failure detail.
+		writeJSON(w, http.StatusUnprocessableEntity, toResponse(snap))
+		return
+	}
+	writeJSON(w, http.StatusCreated, toResponse(snap))
+}
+
+// PlanResponse is the wire form of a quote: the plan the search chose,
+// how the cache answered (mirrored in the X-Cache header), and the
+// search and service counters behind the answer. search_stats is all
+// zeros on cache hits — the quote cost no Theorem 4.1 evaluations.
+type PlanResponse struct {
+	Workload     string  `json:"workload"`
+	InstanceType string  `json:"instance_type"`
+	Workers      int     `json:"workers"`
+	PS           int     `json:"ps"`
+	Iterations   int     `json:"iterations"`
+	PredTimeSec  float64 `json:"predicted_sec"`
+	CostUSD      float64 `json:"cost_usd"`
+	Feasible     bool    `json:"feasible"`
+	Cache        string  `json:"cache"`
+	Key          string  `json:"key"`
+	TraceID      string  `json:"trace_id"`
+	SearchStats  struct {
+		Types      int `json:"types"`
+		Enumerated int `json:"enumerated"`
+		Pruned     int `json:"pruned"`
+		Feasible   int `json:"feasible"`
+	} `json:"search_stats"`
+	Service service.Stats `json:"service"`
+}
+
+// postPlan quotes a submission without provisioning anything: same
+// payload as POST /api/jobs, answered by the plan service (cache,
+// coalescing, admission control). Overload is 429 + Retry-After;
+// planning failures (e.g. an unreachable loss target) are 422.
+func (a *API) postPlan(w http.ResponseWriter, r *http.Request) {
+	workload, goal, err := decodeJobRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	traceID := r.Header.Get("X-Trace-ID")
+	if traceID == "" {
+		traceID = fmt.Sprintf("plan-%06d", a.planSeq.Add(1))
+	}
+	preq, err := a.controller.PlanRequest(workload, goal, traceID)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	res, err := a.plans.Plan(r.Context(), preq)
+	if err != nil {
+		if errors.Is(err, service.ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := PlanResponse{
+		Workload:     workload.Name,
+		InstanceType: res.Plan.Type.Name,
+		Workers:      res.Plan.Workers,
+		PS:           res.Plan.PS,
+		Iterations:   res.Plan.Iterations,
+		PredTimeSec:  res.Plan.PredTime,
+		CostUSD:      res.Plan.Cost,
+		Feasible:     res.Plan.Feasible,
+		Cache:        string(res.Outcome),
+		Key:          res.Key.String(),
+		TraceID:      traceID,
+		Service:      a.plans.Stats(),
+	}
+	resp.SearchStats.Types = res.Stats.Types
+	resp.SearchStats.Enumerated = res.Stats.Enumerated
+	resp.SearchStats.Pruned = res.Stats.Pruned
+	resp.SearchStats.Feasible = res.Stats.Feasible
+	w.Header().Set("X-Cache", string(res.Outcome))
+	w.Header().Set("X-Trace-ID", traceID)
+	writeJSON(w, http.StatusOK, resp)
 }

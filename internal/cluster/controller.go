@@ -50,6 +50,7 @@ type JobStatus string
 
 // Job lifecycle states.
 const (
+	StatusQueued       JobStatus = "queued"
 	StatusPlanning     JobStatus = "planning"
 	StatusProvisioning JobStatus = "provisioning"
 	StatusRunning      JobStatus = "running"
@@ -86,7 +87,8 @@ type Job struct {
 	Recoveries     int
 	LostIterations int
 
-	seq int // submission order, for deterministic Jobs() listing
+	seq  int           // submission order, for deterministic Jobs() listing
+	done chan struct{} // closed when the pipeline reaches a terminal state
 }
 
 // snapshot returns a copy safe to hand out (History is aliased otherwise).
@@ -125,6 +127,12 @@ type Controller struct {
 	// SimSeed seeds the training simulator (recovery segments perturb it
 	// so a resumed run does not replay the original noise).
 	SimSeed int64
+	// QueueWorkers and QueueDepth size the async submission workqueue
+	// (see queue.go); zero values take DefaultQueueWorkers and
+	// DefaultQueueDepth. Set them before the first Enqueue.
+	QueueWorkers int
+	QueueDepth   int
+	queue        jobQueue
 	// SLO, when non-nil, receives service-level observations as jobs
 	// finish: deadline attainment against 1.05·Tg, cost overrun against
 	// the planned Eq. 8 cost, per-cycle recovery time, and per-phase
@@ -226,6 +234,18 @@ func (c *Controller) Submit(w *model.Workload, goal plan.Goal) (*Job, error) {
 // traceID mints a deterministic one from the submission sequence, so
 // replayed scenarios produce byte-identical journals.
 func (c *Controller) SubmitTraced(w *model.Workload, goal plan.Goal, traceID string) (*Job, error) {
+	job, err := c.newJob(w, goal, traceID)
+	if err != nil {
+		return nil, err
+	}
+	return c.runJob(job)
+}
+
+// newJob registers a submission: it assigns the job and trace IDs,
+// records the job, and emits the JobSubmitted flight-recorder event. No
+// planning or provisioning happens here — runJob does the work, either
+// inline (SubmitTraced) or on a workqueue worker (Enqueue).
+func (c *Controller) newJob(w *model.Workload, goal plan.Goal, traceID string) (*Job, error) {
 	if w == nil {
 		return nil, fmt.Errorf("cluster: nil workload")
 	}
@@ -234,14 +254,42 @@ func (c *Controller) SubmitTraced(w *model.Workload, goal plan.Goal, traceID str
 	if traceID == "" {
 		traceID = fmt.Sprintf("trace-%06d", c.nextJob)
 	}
-	job := &Job{ID: fmt.Sprintf("job-%d", c.nextJob), TraceID: traceID, seq: c.nextJob, Workload: w, Goal: goal}
+	job := &Job{
+		ID: fmt.Sprintf("job-%d", c.nextJob), TraceID: traceID, seq: c.nextJob,
+		Workload: w, Goal: goal, done: make(chan struct{}),
+	}
 	c.jobs[job.ID] = job
 	c.mu.Unlock()
-	jb := c.jbind(job)
-	jb.Emit(journal.JobSubmitted,
+	c.jbind(job).Emit(journal.JobSubmitted,
 		journal.F("workload", w.Name),
 		journal.Ffloat("goal_sec", goal.TimeSec),
 		journal.Ffloat("loss_target", goal.LossTarget))
+	return job, nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+// The job keeps running if the waiter gives up.
+func (c *Controller) Wait(ctx context.Context, id string) error {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: no such job %s", id)
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runJob drives a registered job through the pipeline: profile, plan,
+// provision, train, teardown. Exactly one call per job.
+func (c *Controller) runJob(job *Job) (*Job, error) {
+	defer close(job.done)
+	w, goal := job.Workload, job.Goal
+	jb := c.jbind(job)
 	c.setStatus(job, StatusPlanning)
 
 	c.master.log.record("JobSubmitted", "job/"+job.ID, "%s, goal %.0fs / loss %.2f", w.Name, goal.TimeSec, goal.LossTarget)
@@ -480,6 +528,30 @@ func (c *Controller) Job(id string) (Job, error) {
 		return Job{}, fmt.Errorf("cluster: no such job %s", id)
 	}
 	return j.snapshot(), nil
+}
+
+// PlanRequest assembles the planning question for a workload and goal —
+// cached profile, predictor, live catalog — without registering a job.
+// The plan service answers these for POST /api/plan; a non-empty traceID
+// correlates the flight-recorder events the search emits.
+func (c *Controller) PlanRequest(w *model.Workload, goal plan.Goal, traceID string) (plan.Request, error) {
+	if w == nil {
+		return plan.Request{}, fmt.Errorf("cluster: nil workload")
+	}
+	prof, err := c.profileFor(w)
+	if err != nil {
+		return plan.Request{}, err
+	}
+	req := plan.Request{
+		Profile:   prof,
+		Goal:      goal,
+		Predictor: c.predictor,
+		Catalog:   c.provider.Catalog(),
+	}
+	if traceID != "" {
+		req.Journal = journal.Bind(c.master.Journal(), "plan-api", traceID, "").WithClock(c.provider.Now)
+	}
+	return req, nil
 }
 
 // Jobs returns snapshots of all jobs in submission order.

@@ -1,0 +1,129 @@
+package cluster
+
+// The submission workqueue decouples accepting a job from running it.
+// Enqueue registers the job, marks it queued, and hands it to a bounded
+// worker pool; callers that want the old synchronous behaviour Wait on
+// the job afterwards. A full queue is an admission decision, not a
+// blocking point: Enqueue fails fast with ErrQueueFull (the API maps it
+// to 429 + Retry-After) and nothing is registered, so overload cannot
+// grow the job table without bound.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"cynthia/internal/model"
+	"cynthia/internal/plan"
+)
+
+// Queue sizing defaults; override via Controller.QueueWorkers /
+// Controller.QueueDepth before the first Enqueue.
+const (
+	DefaultQueueWorkers = 4
+	DefaultQueueDepth   = 64
+)
+
+// ErrQueueFull is returned by Enqueue when the submission queue is at
+// capacity; the caller should retry after a backoff.
+var ErrQueueFull = errors.New("cluster: submission queue full")
+
+// ErrQueueClosed is returned by Enqueue after DrainQueue began.
+var ErrQueueClosed = errors.New("cluster: submission queue draining")
+
+// jobQueue is the bounded workqueue behind Enqueue. qmu guards startup,
+// shutdown, and admission; it is never held while a job runs.
+type jobQueue struct {
+	qmu     sync.Mutex
+	ch      chan *Job
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// StartQueue spins up the worker pool. It is idempotent and is called
+// lazily by the first Enqueue; call it explicitly only to front-load the
+// goroutines (e.g. before serving traffic).
+func (c *Controller) StartQueue() {
+	c.queue.qmu.Lock()
+	defer c.queue.qmu.Unlock()
+	c.startQueueLocked()
+}
+
+func (c *Controller) startQueueLocked() {
+	q := &c.queue
+	if q.started {
+		return
+	}
+	workers := c.QueueWorkers
+	if workers <= 0 {
+		workers = DefaultQueueWorkers
+	}
+	depth := c.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	q.ch = make(chan *Job, depth)
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for job := range q.ch {
+				_, _ = c.runJob(job) // outcome lands on the job record
+			}
+		}()
+	}
+	q.started = true
+}
+
+// Enqueue registers the submission and schedules it on the workqueue,
+// returning as soon as the job is admitted (StatusQueued). Use Wait for
+// the synchronous contract. A full queue rejects the submission with
+// ErrQueueFull before anything is registered.
+func (c *Controller) Enqueue(w *model.Workload, goal plan.Goal, traceID string) (*Job, error) {
+	q := &c.queue
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	if q.closed {
+		return nil, ErrQueueClosed
+	}
+	c.startQueueLocked()
+	// qmu serializes all senders, so this capacity check cannot go stale
+	// before the send below (receivers only free space).
+	if len(q.ch) == cap(q.ch) {
+		return nil, ErrQueueFull
+	}
+	job, err := c.newJob(w, goal, traceID)
+	if err != nil {
+		return nil, err
+	}
+	c.setStatus(job, StatusQueued)
+	q.ch <- job
+	return job, nil
+}
+
+// DrainQueue stops admitting new submissions and waits for every queued
+// and in-flight job to finish, or for ctx to expire. Safe to call
+// multiple times and before the queue ever started.
+func (c *Controller) DrainQueue(ctx context.Context) error {
+	q := &c.queue
+	q.qmu.Lock()
+	if !q.closed {
+		q.closed = true
+		if q.started {
+			close(q.ch)
+		}
+	}
+	q.qmu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

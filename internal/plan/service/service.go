@@ -1,0 +1,413 @@
+// Package service turns the plan engine into planning-as-a-service: a
+// long-running, multi-tenant front end over plan.Provisioner built for
+// absorbing heavy request traffic.
+//
+// Three mechanisms carry the load:
+//
+//   - A cross-request result cache keyed on (catalog identity, catalog
+//     epoch, workload fingerprint): repeated planning questions skip the
+//     Theorem 4.1 scan entirely and are answered from the cached Result —
+//     bit-identical to the search that produced it, in well under a
+//     microsecond, without allocating. Any catalog mutation bumps the
+//     epoch (see cloud.Catalog), making every stale entry unreachable.
+//   - Singleflight coalescing: N identical requests arriving while the
+//     search is in flight wait on the one running search and all receive
+//     its Result. A traffic spike of one hot question costs one scan.
+//   - Admission control: fresh searches run on a bounded worker pool
+//     behind a bounded queue. When the queue is full the request is
+//     rejected immediately with ErrOverloaded instead of piling onto an
+//     unbounded backlog — the HTTP layer maps this to 429 + Retry-After.
+//
+// The service emits plan.cache.hit/miss/coalesced flight-recorder events
+// on the request's journal binding (the one search a coalesced group runs
+// carries the first requester's trace ID), and exports hit/miss/queue
+// metrics on an obs registry.
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
+	"cynthia/internal/plan"
+)
+
+// ErrOverloaded reports that the admission queue was full and the request
+// was rejected without being planned. Callers should retry after a
+// backoff; the HTTP layer maps it to 429 Too Many Requests + Retry-After.
+var ErrOverloaded = errors.New("plan service: overloaded (admission queue full)")
+
+// ErrClosed reports a request against a closed service.
+var ErrClosed = errors.New("plan service: closed")
+
+// Outcome classifies how a request was served.
+type Outcome string
+
+// Request outcomes, in the wire form the X-Cache header carries.
+const (
+	// OutcomeHit means the plan was served from the cross-request cache:
+	// zero Theorem 4.1 evaluations, bit-identical to the cold search.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss means this request ran (and cached) the search.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeCoalesced means the request waited on an identical search
+	// another request had already started.
+	OutcomeCoalesced Outcome = "coalesced"
+)
+
+// Key identifies one cacheable planning question: which catalog at which
+// mutation epoch, and the fingerprint folding the workload profile, goal,
+// sync mode, predictor, and quota knobs (see Fingerprint).
+type Key struct {
+	CatalogID   uint64
+	Epoch       uint64
+	Fingerprint uint64
+}
+
+// Config parameterizes a Service. The zero value selects sensible
+// defaults throughout.
+type Config struct {
+	// Provisioner answers cache misses; defaults to plan.DefaultEngine.
+	Provisioner plan.Provisioner
+	// Catalog is the default catalog for requests that carry none;
+	// defaults to one shared cloud.DefaultCatalog instance (a fresh
+	// catalog per request would never share cache entries).
+	Catalog *cloud.Catalog
+	// Workers bounds how many searches run concurrently; defaults to
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many admitted searches may wait for a worker;
+	// a full queue rejects with ErrOverloaded. Defaults to 64.
+	QueueDepth int
+	// CacheCapacity bounds the result cache (LRU eviction). 0 selects
+	// DefaultCacheCapacity; negative disables the service entirely —
+	// every request runs a full search inline, the paper's one-shot
+	// behaviour, kept as the benchmark reference path.
+	CacheCapacity int
+	// Registry receives the service metrics; defaults to obs.Default().
+	Registry *obs.Registry
+}
+
+// DefaultCacheCapacity is the result-cache bound when Config leaves it 0.
+const DefaultCacheCapacity = 1024
+
+// DefaultQueueDepth is the admission-queue bound when Config leaves it 0.
+const DefaultQueueDepth = 64
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Requests   uint64 `json:"requests"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Coalesced  uint64 `json:"coalesced"`
+	Overloaded uint64 `json:"overloaded"`
+	Errors     uint64 `json:"errors"`
+	Evictions  uint64 `json:"evictions"`
+	Searches   uint64 `json:"searches"`
+	CacheSize  int    `json:"cache_size"`
+}
+
+// Response is one answered planning request: the search product (chosen
+// plan, ranked candidates, search stats) plus how it was served.
+type Response struct {
+	plan.Result
+	Outcome Outcome
+	Key     Key
+}
+
+// entry is one cache slot: a singleflight handle while the search runs,
+// a cached result once done is closed.
+type entry struct {
+	key  Key
+	req  plan.Request // normalized; carries the first requester's journal binding
+	done chan struct{}
+	res  plan.Result
+	err  error
+	elem *list.Element // LRU position, set once cached
+}
+
+// svcMetrics are pre-resolved so the hit path stays allocation-free (a
+// CounterVec.With call builds a variadic slice).
+type svcMetrics struct {
+	hits       *obs.Counter
+	misses     *obs.Counter
+	coalesced  *obs.Counter
+	overloaded *obs.Counter
+	errors     *obs.Counter
+	evictions  *obs.Counter
+	searchSec  *obs.Histogram
+	queueDepth *obs.Gauge
+	cacheSize  *obs.Gauge
+}
+
+func newSvcMetrics(reg *obs.Registry) *svcMetrics {
+	outcomes := reg.CounterVec("cynthia_plansvc_requests_total",
+		"plan service requests by outcome", "outcome")
+	return &svcMetrics{
+		hits:       outcomes.With("hit"),
+		misses:     outcomes.With("miss"),
+		coalesced:  outcomes.With("coalesced"),
+		overloaded: outcomes.With("overloaded"),
+		errors:     outcomes.With("error"),
+		evictions: reg.Counter("cynthia_plansvc_evictions_total",
+			"cache entries evicted by the LRU bound"),
+		searchSec: reg.Histogram("cynthia_plansvc_search_seconds",
+			"wall time of cache-miss searches run by the worker pool", nil),
+		queueDepth: reg.Gauge("cynthia_plansvc_queue_depth",
+			"searches waiting for a pool worker"),
+		cacheSize: reg.Gauge("cynthia_plansvc_cache_size",
+			"entries in the cross-request result cache"),
+	}
+}
+
+// Service is the multi-tenant plan server. Construct with New; the zero
+// value is not usable.
+type Service struct {
+	prov    plan.Provisioner
+	catalog *cloud.Catalog
+	bypass  bool // CacheCapacity < 0: no cache, no coalescing, no queue
+	cap     int
+	m       *svcMetrics
+
+	queue  chan *entry
+	wg     sync.WaitGroup
+	ctx    context.Context // cancels in-flight searches on Close
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     list.List // completed entries, most recent at front
+	closed  bool
+	stats   Stats
+}
+
+// New starts a service: its worker pool runs until Close.
+func New(cfg Config) *Service {
+	if cfg.Provisioner == nil {
+		cfg.Provisioner = plan.DefaultEngine
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = cloud.DefaultCatalog()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	capacity := cfg.CacheCapacity
+	if capacity == 0 {
+		capacity = DefaultCacheCapacity
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		prov:    cfg.Provisioner,
+		catalog: cfg.Catalog,
+		bypass:  capacity < 0,
+		cap:     capacity,
+		m:       newSvcMetrics(reg),
+		queue:   make(chan *entry, cfg.QueueDepth),
+		ctx:     ctx,
+		cancel:  cancel,
+		entries: make(map[Key]*entry),
+	}
+	s.lru.Init()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Catalog returns the service's default catalog (the one requests without
+// their own are planned against, and whose epoch keys the cache).
+func (s *Service) Catalog() *cloud.Catalog { return s.catalog }
+
+// Close drains the worker pool: queued searches still run (their waiters
+// get answers), new requests fail with ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	s.cancel()
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.CacheSize = s.lru.Len()
+	return st
+}
+
+// Plan answers one planning request. The request is normalized (so
+// default-valued and explicitly-defaulted requests share cache entries),
+// fingerprinted, and served from the cache, an in-flight identical
+// search, or a fresh search on the worker pool — see the package comment
+// for the full policy. The returned Result is shared with every other
+// request served from the same entry; treat Ranked as read-only.
+func (s *Service) Plan(ctx context.Context, req plan.Request) (Response, error) {
+	if req.Catalog == nil {
+		req.Catalog = s.catalog
+	}
+	nreq, err := req.Normalize()
+	if err != nil {
+		return Response{}, err
+	}
+	if s.bypass {
+		// Reference mode: the paper's one-shot behaviour. Every request
+		// pays the full Theorem 4.1 scan, inline, unqueued.
+		res, err := plan.SearchWith(ctx, s.prov, nreq)
+		s.mu.Lock()
+		s.stats.Requests++
+		if err != nil {
+			s.stats.Errors++
+		} else {
+			s.stats.Misses++
+			s.stats.Searches++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.m.errors.Inc()
+			return Response{}, err
+		}
+		s.m.misses.Inc()
+		return Response{Result: res, Outcome: OutcomeMiss}, nil
+	}
+	key := Key{
+		CatalogID:   nreq.Catalog.ID(),
+		Epoch:       nreq.Catalog.Epoch(),
+		Fingerprint: Fingerprint(nreq),
+	}
+	jb := nreq.Journal
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	s.stats.Requests++
+	if e, ok := s.entries[key]; ok {
+		select {
+		case <-e.done:
+			// Cached: zero search work, bit-identical shared result.
+			s.stats.Hits++
+			if e.elem != nil {
+				s.lru.MoveToFront(e.elem)
+			}
+			res := e.res
+			// A hit does zero search work for this request; the stats it
+			// reports say so (the miss that filled the entry reported the
+			// real enumeration counts).
+			res.Stats = plan.SearchStats{}
+			s.mu.Unlock()
+			s.m.hits.Inc()
+			if jb.Enabled() {
+				jb.Emit(journal.PlanCacheHit,
+					journal.F("key", key.String()),
+					journal.Fint("enumerated", 0))
+			}
+			return Response{Result: res, Outcome: OutcomeHit, Key: key}, nil
+		default:
+			// Identical search in flight: coalesce onto it.
+			s.stats.Coalesced++
+			s.mu.Unlock()
+			s.m.coalesced.Inc()
+			if jb.Enabled() {
+				jb.Emit(journal.PlanCacheCoalesced, journal.F("key", key.String()))
+			}
+			return s.wait(ctx, e, OutcomeCoalesced)
+		}
+	}
+	// Miss: admit a fresh search, or reject if the pool is saturated.
+	e := &entry{key: key, req: nreq, done: make(chan struct{})}
+	select {
+	case s.queue <- e:
+		s.entries[key] = e
+		s.stats.Misses++
+		s.mu.Unlock()
+	default:
+		s.stats.Overloaded++
+		s.mu.Unlock()
+		s.m.overloaded.Inc()
+		if jb.Enabled() {
+			jb.Emit(journal.PlanRejected, journal.F("reason", "overloaded"))
+		}
+		return Response{}, ErrOverloaded
+	}
+	s.m.misses.Inc()
+	s.m.queueDepth.Set(float64(len(s.queue)))
+	if jb.Enabled() {
+		jb.Emit(journal.PlanCacheMiss, journal.F("key", key.String()))
+	}
+	return s.wait(ctx, e, OutcomeMiss)
+}
+
+// wait blocks until the entry's search completes or the caller's context
+// is cancelled (the search itself keeps running for other waiters).
+func (s *Service) wait(ctx context.Context, e *entry, outcome Outcome) (Response, error) {
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return Response{}, e.err
+		}
+		return Response{Result: e.res, Outcome: outcome, Key: e.key}, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// worker consumes admitted searches until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for e := range s.queue {
+		s.m.queueDepth.Set(float64(len(s.queue)))
+		s.runSearch(e)
+	}
+}
+
+// runSearch executes one admitted search and publishes its result:
+// successes are cached (LRU-bounded), failures are published to waiters
+// but not cached, so the next identical request retries.
+func (s *Service) runSearch(e *entry) {
+	start := time.Now()
+	res, err := plan.SearchWith(s.ctx, s.prov, e.req)
+	s.m.searchSec.Observe(time.Since(start).Seconds())
+	s.mu.Lock()
+	e.res, e.err = res, err
+	if err == nil {
+		s.stats.Searches++
+		e.elem = s.lru.PushFront(e)
+		for s.lru.Len() > s.cap {
+			oldest := s.lru.Back()
+			ev := s.lru.Remove(oldest).(*entry)
+			delete(s.entries, ev.key)
+			s.stats.Evictions++
+			s.m.evictions.Inc()
+		}
+		s.m.cacheSize.Set(float64(s.lru.Len()))
+	} else {
+		delete(s.entries, e.key)
+		s.stats.Errors++
+		s.m.errors.Inc()
+	}
+	s.mu.Unlock()
+	close(e.done)
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race stress bench bench-obs bench-json bench-check coverage fuzz-smoke planload-smoke check
+.PHONY: all build vet test race stress bench bench-obs bench-json bench-check coverage fuzz-smoke planload-smoke crash-smoke check
 
 # The hot-path packages whose benchmarks form the committed perf
 # trajectory (BENCH_flow.json): the flow engine, the simulator built on
@@ -15,6 +15,13 @@ BENCH_OBS = ./internal/obs/journal
 # cached-hit path must stay allocation-free and >=10x faster than the
 # no-cache reference that pays a full Theorem 4.1 search per request.
 BENCH_PLAN = ./internal/plan/service
+
+# The write-ahead-log benchmarks gate separately (BENCH_wal.json):
+# steady-state appends must stay allocation-free (the alloc gate is
+# threshold-independent), and the fsync-batched variants pin the
+# durability/throughput trade-off. Their ns/op gate is looser (50%)
+# because fsync latency is device-noisy run to run.
+BENCH_WAL = ./internal/obs/journal/wal
 
 all: check
 
@@ -54,6 +61,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out BENCH_flow.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out BENCH_obs.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_PLAN) | $(GO) run ./cmd/benchjson parse -out BENCH_plan.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_WAL) | $(GO) run ./cmd/benchjson parse -out BENCH_wal.json
 
 # bench-check re-runs the same benchmarks and gates against the committed
 # baseline, benchstat-style: allocs/op must not rise, incremental vs
@@ -69,13 +77,16 @@ bench-check:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_PLAN) | $(GO) run ./cmd/benchjson parse -out .bench_plan.json
 	$(GO) run ./cmd/benchjson compare -baseline BENCH_plan.json -current .bench_plan.json -threshold 10 -min-speedup 10
 	@rm -f .bench_plan.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_WAL) | $(GO) run ./cmd/benchjson parse -out .bench_wal.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_wal.json -current .bench_wal.json -threshold 50 -min-speedup 0
+	@rm -f .bench_wal.json
 
 # coverage enforces per-package statement-coverage floors on the search
 # core, the flow model, and the recovery state machine. Floors sit a few
 # points under the measured numbers so a coverage regression fails CI
 # without turning every refactor into a fight with the gate.
 coverage:
-	@set -e; for spec in internal/plan:80 internal/plan/service:90 internal/flow:80 internal/cluster:85 internal/obs:80 internal/obs/journal:80; do \
+	@set -e; for spec in internal/plan:80 internal/plan/service:90 internal/flow:80 internal/cluster:85 internal/cluster/replay:75 internal/obs:80 internal/obs/journal:80 internal/obs/journal/wal:75; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		$(GO) test -count=1 -coverprofile=.cover.out ./$$pkg >/dev/null; \
 		total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
@@ -97,5 +108,11 @@ fuzz-smoke:
 # (asserted by the tool exiting non-zero when no plans succeed).
 planload-smoke:
 	$(GO) run ./cmd/planload -concurrency 16 -duration 2s
+
+# crash-smoke is the process-level durability drill: boot cmd/master with
+# a state dir, SIGKILL it with jobs in flight, restart it over the same
+# directory, and assert every admitted job reaches a terminal state.
+crash-smoke:
+	./scripts/crash_smoke.sh
 
 check: vet build race coverage

@@ -166,6 +166,11 @@ func followEvents(base string, after uint64, job string, follow bool, interval t
 			resp.Body.Close()
 			return fmt.Errorf("server returned %s", resp.Status)
 		}
+		// The master's journal ring is bounded; the header reports the
+		// oldest sequence it still holds when our cursor fell behind it.
+		if tr := resp.Header.Get("X-Journal-Truncated"); tr != "" {
+			fmt.Fprintf(os.Stderr, "cynthiactl: warning: journal ring evicted events past cursor %d; oldest retained seq is %s\n", after, tr)
+		}
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 		for sc.Scan() {

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	master -addr 127.0.0.1:8080 [-gpu]
+//	master -addr 127.0.0.1:8080 [-gpu] [-state-dir /var/lib/cynthia]
+//
+// With -state-dir the control plane is crash-durable: every
+// flight-recorder event is written ahead to a segmented WAL and the
+// world is snapshotted at each durability barrier. A restarted master
+// recovers the snapshot plus the log tail, re-enqueues queued jobs, and
+// resumes in-flight jobs from their last barrier.
 //
 // Then drive it with cmd/cynthiactl or curl:
 //
@@ -26,16 +32,20 @@ import (
 
 	"cynthia/internal/cloud"
 	"cynthia/internal/cluster"
+	"cynthia/internal/cluster/replay"
+	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		gpu     = flag.Bool("gpu", false, "use the extended CPU+GPU catalog")
-		pprofOn = flag.Bool("pprof", false, "serve net/http/pprof profiles (CPU, heap, goroutine, block) under /debug/pprof/")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		gpu      = flag.Bool("gpu", false, "use the extended CPU+GPU catalog")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiles (CPU, heap, goroutine, block) under /debug/pprof/")
+		stateDir = flag.String("state-dir", "", "durable state directory (WAL + snapshots); restart recovers and resumes jobs from it")
 	)
 	flag.Parse()
-	if err := run(*addr, *gpu, *pprofOn); err != nil {
+	if err := run(*addr, *gpu, *pprofOn, *stateDir); err != nil {
 		fmt.Fprintln(os.Stderr, "master:", err)
 		os.Exit(1)
 	}
@@ -46,22 +56,70 @@ func main() {
 // banner prints. Split from run so tests can serve the handler from
 // httptest instead of a real listener. With pprofOn the debug mux also
 // serves the net/http/pprof profiles (and enables block profiling).
-func setup(gpu, pprofOn bool) (http.Handler, *cluster.API, *cluster.Master, *cloud.Catalog, error) {
+//
+// A non-empty stateDir makes the control plane durable: the journal
+// writes ahead to a WAL in that directory, the controller snapshots the
+// world at durability barriers, and — when the directory already holds
+// state — the world is rebuilt from it, queued jobs are re-enqueued,
+// and in-flight jobs resume in the background. The returned manager is
+// nil without a state dir; with one, the caller owns its final
+// snapshot and Close on shutdown.
+func setup(gpu, pprofOn bool, stateDir string) (http.Handler, *cluster.API, *cluster.Master, *cloud.Catalog, *replay.Manager, error) {
 	master, err := cluster.NewMaster()
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	catalog := cloud.DefaultCatalog()
 	if gpu {
 		catalog = cloud.ExtendedCatalog()
 	}
-	provider := cloud.NewProvider(catalog, nil)
+	var (
+		mgr   *replay.Manager
+		clock cloud.Clock
+	)
+	if stateDir != "" {
+		mgr, err = replay.Open(stateDir, replay.Options{Mode: replay.ModeResume})
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		if snap := mgr.Snapshot(); snap != nil {
+			// Resume the provider clock from the snapshot instead of
+			// rewinding to zero, which would re-bill every instance.
+			clock = cloud.WallClockFrom(snap.Provider.ClockSec)
+		}
+	}
+	provider := cloud.NewProvider(catalog, clock)
+	if mgr != nil {
+		// Durable flight recorder: every event is framed into the WAL by
+		// the manager sink before the in-memory ring can evict it.
+		master.SetJournal(journal.New(journal.DefaultCapacity, journal.WithSink(mgr)), nil)
+	}
 	// The flight recorder spans the whole control plane: the provider
 	// appends instance lifecycle events to the master's journal, and
 	// master-sourced events run on the provider clock.
 	provider.SetJournal(master.Journal())
 	master.SetJournal(master.Journal(), provider.Now)
 	controller := cluster.NewController(master, provider, nil, "")
+	if mgr != nil {
+		controller.Durability = mgr
+		mgr.Attach(controller, master, provider, master.Journal())
+		resume, queued, err := mgr.Rebuild()
+		if err != nil {
+			mgr.Close()
+			return nil, nil, nil, nil, nil, err
+		}
+		for _, id := range queued {
+			if err := controller.Requeue(id); err != nil {
+				obs.Debugf("master: requeue %s after restart: %v", id, err)
+			}
+		}
+		for _, id := range resume {
+			id := id
+			// ResumeJob blocks until the job reaches a terminal state; the
+			// outcome lands on the job record like any queued run's.
+			go func() { _, _ = controller.ResumeJob(id) }()
+		}
+	}
 	api := cluster.NewAPI(master, controller)
 	handler := http.Handler(api.Handler())
 	if pprofOn {
@@ -75,15 +133,15 @@ func setup(gpu, pprofOn bool) (http.Handler, *cluster.API, *cluster.Master, *clo
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	return handler, api, master, catalog, nil
+	return handler, api, master, catalog, mgr, nil
 }
 
 // drainTimeout bounds how long shutdown waits for in-flight and queued
 // jobs after the listener closes.
 const drainTimeout = 30 * time.Second
 
-func run(addr string, gpu, pprofOn bool) error {
-	handler, api, master, catalog, err := setup(gpu, pprofOn)
+func run(addr string, gpu, pprofOn bool, stateDir string) error {
+	handler, api, master, catalog, mgr, err := setup(gpu, pprofOn, stateDir)
 	if err != nil {
 		return err
 	}
@@ -92,6 +150,13 @@ func run(addr string, gpu, pprofOn bool) error {
 	fmt.Printf("master: nodes join with token %s, CA hash %s...\n", token, caHash[:23])
 	if pprofOn {
 		fmt.Printf("master: pprof profiles on http://%s/debug/pprof/\n", addr)
+	}
+	if mgr != nil {
+		if mgr.HasState() {
+			fmt.Printf("master: recovered durable state from %s (%d journaled events)\n", stateDir, len(mgr.RecoveredEvents()))
+		} else {
+			fmt.Printf("master: durable state in %s\n", stateDir)
+		}
 	}
 
 	// SIGTERM/SIGINT stop the listener, then drain: in-flight HTTP
@@ -116,6 +181,16 @@ func run(addr string, gpu, pprofOn bool) error {
 	}
 	if err := api.Drain(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if mgr != nil {
+		// Pin the drained world so the next boot restarts clean instead of
+		// replaying the tail since the last barrier snapshot.
+		if err := mgr.SnapshotNow(); err != nil {
+			fmt.Fprintln(os.Stderr, "master: final snapshot:", err)
+		}
+		if err := mgr.Close(); err != nil {
+			return fmt.Errorf("closing state dir: %w", err)
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"cynthia/internal/model"
 	"cynthia/internal/nn"
@@ -160,12 +162,38 @@ func run(addr, sizesStr string, shard, shards, workers int, syncStr, optName str
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	awaitShutdown(srv, sig, drainTimeout)
+	return nil
+}
+
+// drainTimeout bounds how long shutdown waits for live worker
+// connections to finish their rounds after the listener closes.
+const drainTimeout = 30 * time.Second
+
+// awaitShutdown blocks until the first signal, then shuts down
+// gracefully: the listener closes so no new worker can connect, live
+// workers get up to timeout to finish and disconnect on their own, and
+// only then are the leftovers torn down. A second signal cuts the drain
+// short and forces immediate teardown.
+func awaitShutdown(srv *ps.Server, sig <-chan os.Signal, timeout time.Duration) {
 	<-sig
+	fmt.Println("psserver: signal received, draining workers (second signal forces shutdown)")
+	dctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-dctx.Done():
+		}
+	}()
+	if err := srv.Drain(dctx); err != nil {
+		obs.Warnf("psserver: drain cut short: %v", err)
+	}
 	stats := srv.Stats()
 	srv.Close()
 	fmt.Printf("psserver: shutting down after %d pushes, %d applies, %d bytes in, %d bytes out\n",
 		stats.Pushes, stats.Applies, stats.BytesIn, stats.BytesOut)
-	return nil
 }

@@ -3,9 +3,12 @@ package main
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"cynthia/internal/obs"
 	"cynthia/internal/ps"
@@ -39,6 +42,88 @@ func TestRunValidation(t *testing.T) {
 func TestRunRejectsBadOptimizer(t *testing.T) {
 	if err := run("127.0.0.1:0", "784,10", 0, 1, 1, "bsp", "lamb", 0, 0.1, 1, "", false); err == nil {
 		t.Error("unknown optimizer accepted")
+	}
+}
+
+// startShard boots a one-worker shard on an ephemeral port for the
+// shutdown tests.
+func startShard(t *testing.T) (*ps.Server, string) {
+	t.Helper()
+	srv, err := ps.NewServer(ps.ServerConfig{Init: make([]float64, 8), Workers: 1, LR: 0.1, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, bound
+}
+
+// TestAwaitShutdownDrainsWorkers pins the graceful path: after the first
+// signal no new worker can connect, a live connection keeps the server
+// up, and shutdown completes once the worker disconnects on its own.
+func TestAwaitShutdownDrainsWorkers(t *testing.T) {
+	srv, bound := startShard(t)
+	conn, err := net.Dial("tcp", bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	go func() {
+		awaitShutdown(srv, sig, 5*time.Second)
+		close(done)
+	}()
+	sig <- os.Interrupt
+	// The listener must close promptly; the live connection must survive.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", bound, 100*time.Millisecond)
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after the drain signal")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("shutdown completed with a live worker connection")
+	case <-time.After(100 * time.Millisecond):
+	}
+	conn.Close() // worker finishes; the drain completes
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown did not complete after the last worker left")
+	}
+}
+
+// TestAwaitShutdownSecondSignalForces pins the force path: a second
+// signal cuts the drain short even with a worker still connected.
+func TestAwaitShutdownSecondSignalForces(t *testing.T) {
+	srv, bound := startShard(t)
+	conn, err := net.Dial("tcp", bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sig := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	go func() {
+		awaitShutdown(srv, sig, time.Hour) // only the second signal can end this
+		close(done)
+	}()
+	sig <- os.Interrupt
+	time.Sleep(50 * time.Millisecond)
+	sig <- os.Interrupt
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force shutdown")
 	}
 }
 

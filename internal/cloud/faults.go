@@ -58,16 +58,34 @@ type FaultPlan struct {
 	// the deterministic end-to-end recovery tests.
 	PreemptAtSec float64
 	PreemptNth   int
+	// KillMasterAtSec schedules master-process kills at the given
+	// absolute provider-clock seconds, consumed in order: the controller
+	// polls MasterKillDue at its durability barriers and crashes (in
+	// simulation, unwinds with ErrMasterKilled; in a real deployment the
+	// analogue is SIGKILL) when the clock passes the next entry. Two
+	// entries with the same time model a double crash: the second kill
+	// fires during the replay of the first.
+	KillMasterAtSec []float64
+}
+
+// IsZero reports whether the plan injects nothing at all.
+func (fp FaultPlan) IsZero() bool {
+	return fp.Seed == 0 && fp.TransientRate == 0 && fp.MaxConsecutiveTransient == 0 &&
+		fp.LaunchDelayMaxSec == 0 && fp.PreemptRate == 0 &&
+		fp.PreemptMinSec == 0 && fp.PreemptMaxSec == 0 &&
+		fp.PreemptAtSec == 0 && fp.PreemptNth == 0 && len(fp.KillMasterAtSec) == 0
 }
 
 // faultState is the live injector behind a FaultPlan. Guarded by the
 // provider mutex.
 type faultState struct {
-	plan      FaultPlan
-	rng       *rand.Rand
-	consec    int                // consecutive transient failures injected
-	launched  int                // instances launched since installation
-	preemptAt map[string]float64 // instance ID -> scheduled revocation time
+	plan       FaultPlan
+	rng        *rand.Rand
+	draws      int                // rng draws made (rand.Rand state is opaque; re-seed + discard restores it)
+	consec     int                // consecutive transient failures injected
+	launched   int                // instances launched since installation
+	preemptAt  map[string]float64 // instance ID -> scheduled revocation time
+	killsTaken int                // KillMasterAtSec entries already consumed
 }
 
 func (f *faultState) maxConsec() int {
@@ -77,16 +95,23 @@ func (f *faultState) maxConsec() int {
 	return 2
 }
 
+// float64 draws from the plan's RNG, counting the draw so a snapshot can
+// record the stream position and a restore can replay to it.
+func (f *faultState) float64() float64 {
+	f.draws++
+	return f.rng.Float64()
+}
+
 // onLaunch decides the fate of one Launch call: an injected transient
 // error, or success with a readiness delay in seconds.
 func (f *faultState) onLaunch() (delay float64, err error) {
-	if f.plan.TransientRate > 0 && f.consec < f.maxConsec() && f.rng.Float64() < f.plan.TransientRate {
+	if f.plan.TransientRate > 0 && f.consec < f.maxConsec() && f.float64() < f.plan.TransientRate {
 		f.consec++
 		return 0, fmt.Errorf("%w (injected, %d consecutive)", ErrTransient, f.consec)
 	}
 	f.consec = 0
 	if f.plan.LaunchDelayMaxSec > 0 {
-		delay = f.rng.Float64() * f.plan.LaunchDelayMaxSec
+		delay = f.float64() * f.plan.LaunchDelayMaxSec
 	}
 	return delay, nil
 }
@@ -99,14 +124,14 @@ func (f *faultState) onInstance(now float64) (at float64, ok bool) {
 	if f.plan.PreemptAtSec > 0 && ord == f.plan.PreemptNth {
 		return f.plan.PreemptAtSec, true
 	}
-	if f.plan.PreemptRate > 0 && f.rng.Float64() < f.plan.PreemptRate {
+	if f.plan.PreemptRate > 0 && f.float64() < f.plan.PreemptRate {
 		lo, hi := f.plan.PreemptMinSec, f.plan.PreemptMaxSec
 		if hi < lo {
 			hi = lo
 		}
 		d := lo
 		if hi > lo {
-			d = lo + f.rng.Float64()*(hi-lo)
+			d = lo + f.float64()*(hi-lo)
 		}
 		return now + d, true
 	}
@@ -118,7 +143,7 @@ func (f *faultState) onInstance(now float64) (at float64, ok bool) {
 func (p *Provider) SetFaultPlan(fp FaultPlan) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if fp == (FaultPlan{}) {
+	if fp.IsZero() {
 		p.fault = nil
 		return
 	}
@@ -131,6 +156,53 @@ func (p *Provider) SetFaultPlan(fp FaultPlan) {
 		rng:       rand.New(rand.NewSource(fp.Seed)),
 		preemptAt: prior,
 	}
+}
+
+// MasterKillDue reports whether a scheduled master kill has come due,
+// consuming it. The controller polls this at each durability barrier; a
+// true return means "the master process dies here". Kills are consumed
+// in schedule order and never re-fire: after a restart the harness
+// restores the consumed count (SetMasterKillsTaken) rather than the
+// snapshot's value, so a restored clock earlier than the kill instant
+// cannot crash-loop.
+func (p *Provider) MasterKillDue() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.fault
+	if f == nil || f.killsTaken >= len(f.plan.KillMasterAtSec) {
+		return false
+	}
+	if p.clock() < f.plan.KillMasterAtSec[f.killsTaken] {
+		return false
+	}
+	f.killsTaken++
+	return true
+}
+
+// MasterKillsTaken returns how many scheduled master kills have fired.
+func (p *Provider) MasterKillsTaken() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fault == nil {
+		return 0
+	}
+	return p.fault.killsTaken
+}
+
+// SetMasterKillsTaken overrides the consumed-kill count. Restart
+// harnesses call this after restoring a snapshot: the snapshot's world
+// predates the kill that crashed it, so the count must come from the
+// number of observed crashes, not from the snapshot.
+func (p *Provider) SetMasterKillsTaken(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fault == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.fault.killsTaken = n
 }
 
 // EventType labels instance lifecycle events on a Watch channel.

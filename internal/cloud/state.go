@@ -1,0 +1,122 @@
+package cloud
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Crash-durability support: a Provider's entire simulated world — every
+// instance, the ID counter, capacity limits, and the fault injector
+// including its RNG stream position — serializes into a ProviderState
+// and restores bit-exactly. math/rand.Rand state is opaque, so instead
+// of serializing it the injector counts its draws (faultState.draws) and
+// a restore re-seeds from the plan's Seed and discards that many draws:
+// the stream continues exactly where the snapshot left it.
+
+// FaultState is the serializable state of a fault injector.
+type FaultState struct {
+	Plan       FaultPlan          `json:"plan"`
+	Draws      int                `json:"draws"`
+	Consec     int                `json:"consec"`
+	Launched   int                `json:"launched"`
+	PreemptAt  map[string]float64 `json:"preempt_at,omitempty"`
+	KillsTaken int                `json:"kills_taken"`
+}
+
+// ProviderState is the serializable world of a Provider.
+type ProviderState struct {
+	ClockSec  float64        `json:"clock_sec"`
+	NextID    int            `json:"next_id"`
+	Instances []Instance     `json:"instances,omitempty"`
+	Limits    map[string]int `json:"limits,omitempty"`
+	Fault     *FaultState    `json:"fault,omitempty"`
+}
+
+// ExportState snapshots the provider world for a durability snapshot.
+func (p *Provider) ExportState() ProviderState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ProviderState{
+		ClockSec: p.clock(),
+		NextID:   p.nextID,
+		Limits:   make(map[string]int, len(p.limits)),
+	}
+	for k, v := range p.limits {
+		st.Limits[k] = v
+	}
+	for _, inst := range p.instances {
+		st.Instances = append(st.Instances, snapshot(inst))
+	}
+	sort.Slice(st.Instances, func(i, j int) bool { return st.Instances[i].ID < st.Instances[j].ID })
+	if f := p.fault; f != nil {
+		fs := &FaultState{
+			Plan:       f.plan,
+			Draws:      f.draws,
+			Consec:     f.consec,
+			Launched:   f.launched,
+			KillsTaken: f.killsTaken,
+			PreemptAt:  make(map[string]float64, len(f.preemptAt)),
+		}
+		for id, at := range f.preemptAt {
+			fs.PreemptAt[id] = at
+		}
+		st.Fault = fs
+	}
+	return st
+}
+
+// RestoreState rebuilds the provider world from a snapshot. The clock is
+// NOT restored here — the caller owns the clock (simulations restore
+// their simulated clock; cmd/master resumes from ClockSec via
+// WallClockFrom). Running counts are recomputed from the instances.
+func (p *Provider) RestoreState(st ProviderState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID = st.NextID
+	p.instances = make(map[string]*Instance, len(st.Instances))
+	p.running = make(map[string]int)
+	for _, inst := range st.Instances {
+		cp := inst
+		cp.Tags = copyTags(inst.Tags)
+		p.instances[cp.ID] = &cp
+		if cp.State == StateRunning || cp.State == StatePending {
+			p.running[cp.Type.Name]++
+		}
+	}
+	p.limits = make(map[string]int, len(st.Limits))
+	for k, v := range st.Limits {
+		p.limits[k] = v
+	}
+	if st.Fault == nil {
+		p.fault = nil
+		return
+	}
+	f := &faultState{
+		plan:       st.Fault.Plan,
+		rng:        rand.New(rand.NewSource(st.Fault.Plan.Seed)),
+		consec:     st.Fault.Consec,
+		launched:   st.Fault.Launched,
+		killsTaken: st.Fault.KillsTaken,
+		preemptAt:  make(map[string]float64, len(st.Fault.PreemptAt)),
+	}
+	for id, at := range st.Fault.PreemptAt {
+		f.preemptAt[id] = at
+	}
+	// Replay the RNG stream to the snapshot's position.
+	for i := 0; i < st.Fault.Draws; i++ {
+		f.rng.Float64()
+	}
+	f.draws = st.Fault.Draws
+	p.fault = f
+}
+
+// WallClockFrom is a Clock whose zero point is offset seconds in the
+// past: the first reading is approximately offset and advances with wall
+// time. A restarted master uses it so the provider clock resumes from
+// the snapshot's ClockSec instead of rewinding to zero (which would
+// re-bill every instance from genesis).
+func WallClockFrom(offset float64) Clock {
+	start := time.Now()
+	return func() float64 { return offset + time.Since(start).Seconds() }
+}

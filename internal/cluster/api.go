@@ -294,9 +294,16 @@ func (a *API) getJournal(w http.ResponseWriter, r *http.Request) {
 		after = v
 	}
 	jobFilter := r.URL.Query().Get("job")
+	jrnl := a.master.Journal()
+	// The in-memory ring is bounded: if it evicted past the caller's
+	// cursor, the gap is unrecoverable here (only the WAL, when enabled,
+	// still has it). Surface that instead of silently skipping events.
+	if oldest := jrnl.OldestSeq(); oldest > after+1 {
+		w.Header().Set("X-Journal-Truncated", strconv.FormatUint(oldest, 10))
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	var buf []byte
-	for _, e := range a.master.Journal().Since(after) {
+	for _, e := range jrnl.Since(after) {
 		if jobFilter != "" && e.Job != jobFilter {
 			continue
 		}

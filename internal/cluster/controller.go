@@ -138,6 +138,14 @@ type Controller struct {
 	// the planned Eq. 8 cost, per-cycle recovery time, and per-phase
 	// deadline-budget burn. Nil disables SLO export.
 	SLO *SLOMetrics
+	// Durability, when non-nil, receives a callback at every durability
+	// barrier of the pipeline (see state.go). The replay manager snapshots
+	// the world there and reports scheduled master kills; nil runs the
+	// pipeline without crash durability, as before.
+	Durability Checkpointer
+	// segSnaps holds each in-flight job's segment state as published at
+	// its last durability barrier (see Controller.barrier). Guarded by mu.
+	segSnaps map[string]SegmentState
 }
 
 // NewController wires a controller to a master and a cloud provider. The
@@ -158,6 +166,7 @@ func NewController(master *Master, provider *cloud.Provider, predictor perf.Pred
 		baseType:         baseType,
 		jobs:             make(map[string]*Job),
 		profiles:         make(map[string]*perf.Profile),
+		segSnaps:         make(map[string]SegmentState),
 		CoresPerInstance: 2,
 	}
 }
@@ -285,7 +294,10 @@ func (c *Controller) Wait(ctx context.Context, id string) error {
 }
 
 // runJob drives a registered job through the pipeline: profile, plan,
-// provision, train, teardown. Exactly one call per job.
+// provision, train, teardown. Exactly one call per job. A simulated
+// master kill (ErrMasterKilled from a durability barrier) unwinds
+// without failing the job and without teardown — the process is dead;
+// the restarted master resumes the job from its last barrier.
 func (c *Controller) runJob(job *Job) (*Job, error) {
 	defer close(job.done)
 	w, goal := job.Workload, job.Goal
@@ -305,23 +317,10 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 		co.phase.With(phase).Observe(d)
 		c.master.log.record("JobPhase", "job/"+job.ID, "%s finished in %.3fs", phase, d)
 	}
-	fail := func(err error) (*Job, error) {
-		c.mu.Lock()
-		job.Status = StatusFailed
-		job.History = append(job.History, StatusFailed)
-		job.Err = err.Error()
-		snap := job.snapshot()
-		c.mu.Unlock()
-		co.jobs.With(string(StatusFailed)).Inc()
-		c.master.log.record("JobFailed", "job/"+job.ID, "%v", err)
-		jb.Emit(journal.JobFailed, journal.F("error", err.Error()))
-		c.SLO.observeJob(snap, 0, 0, 0)
-		return job, err
-	}
 
 	prof, err := c.profileFor(w)
 	if err != nil {
-		return fail(err)
+		return c.failJob(&runState{job: job, handled: map[string]bool{}}, err)
 	}
 	mark("profile")
 	req := plan.Request{
@@ -336,7 +335,7 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 	// Algorithm 1.
 	res, err := plan.SearchWith(context.Background(), c.provisioner, req)
 	if err != nil {
-		return fail(err)
+		return c.failJob(&runState{job: job, handled: map[string]bool{}}, err)
 	}
 	jb.Emit(journal.PlanChosen,
 		journal.F("type", res.Plan.Type.Name),
@@ -363,17 +362,53 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 	c.master.log.record("JobPlanned", "job/"+job.ID, "%s", st.plan)
 
 	if err := c.provision(st); err != nil {
-		return fail(err)
+		return c.failJob(st, err)
 	}
-	defer c.teardown(job)
 
 	c.setStatus(job, StatusRunning)
 	mark("launch")
 	if err := c.runSegments(st); err != nil {
-		return fail(err)
+		if errors.Is(err, ErrMasterKilled) {
+			return job, err
+		}
+		return c.failJob(st, err)
 	}
 	mark("train")
+	return c.finishJob(st)
+}
 
+// failJob moves a job to StatusFailed, emits the terminal events,
+// releases whatever the job still holds, and records the terminal state
+// at the Done barrier. A master kill at that barrier supersedes the
+// failure: the process died before the teardown became durable.
+func (c *Controller) failJob(st *runState, err error) (*Job, error) {
+	job := st.job
+	c.mu.Lock()
+	job.Status = StatusFailed
+	job.History = append(job.History, StatusFailed)
+	job.Err = err.Error()
+	snap := job.snapshot()
+	c.mu.Unlock()
+	ctrlObs().jobs.With(string(StatusFailed)).Inc()
+	c.master.log.record("JobFailed", "job/"+job.ID, "%v", err)
+	c.jbind(job).Emit(journal.JobFailed, journal.F("error", err.Error()))
+	c.SLO.observeJob(snap, 0, 0, 0)
+	c.teardown(job)
+	if kerr := c.barrier(st, PhaseDone); kerr != nil {
+		return job, kerr
+	}
+	return job, err
+}
+
+// finishJob runs the terminal bookkeeping of a completed training run:
+// outcome fields, deadline verdict against 1.05·Tg, terminal events,
+// SLO export, and teardown, bracketed by the Final and Done durability
+// barriers.
+func (c *Controller) finishJob(st *runState) (*Job, error) {
+	job := st.job
+	if err := c.barrier(st, PhaseFinal); err != nil {
+		return job, err
+	}
 	c.mu.Lock()
 	job.TrainingTime = st.elapsed
 	job.FinalLoss = st.finalLoss
@@ -383,7 +418,7 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 	job.Cost = st.cost
 	job.Recoveries = st.recoveries
 	job.LostIterations = st.lost
-	if st.elapsed <= goal.TimeSec*1.05 {
+	if st.elapsed <= st.goal.TimeSec*1.05 {
 		job.Status = StatusSucceeded
 	} else {
 		job.Status = StatusMissedGoal
@@ -392,10 +427,10 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 	status := job.Status
 	snap := job.snapshot()
 	c.mu.Unlock()
-	co.jobs.With(string(status)).Inc()
+	ctrlObs().jobs.With(string(status)).Inc()
 	c.master.log.record("JobFinished", "job/"+job.ID, "%s in %.0fs, loss %.3f, $%.3f",
 		status, st.elapsed, st.finalLoss, job.Cost)
-	jb.Emit(journal.JobFinished,
+	c.jbind(job).Emit(journal.JobFinished,
 		journal.F("status", string(status)),
 		journal.Ffloat("training_sec", st.elapsed),
 		journal.Ffloat("final_loss", st.finalLoss),
@@ -403,6 +438,10 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 		journal.Fint("recoveries", st.recoveries),
 		journal.Fint("lost_iterations", st.lost))
 	c.SLO.observeJob(snap, st.burnProv, st.burnTrain, st.burnRec)
+	c.teardown(job)
+	if err := c.barrier(st, PhaseDone); err != nil {
+		return job, err
+	}
 	return job, nil
 }
 

@@ -1,0 +1,298 @@
+package cluster
+
+// durability_test.go proves the crash-resume contract at the controller
+// layer, without the replay package: a checkpointer snapshots the world
+// at every durability barrier (exactly what internal/cluster/replay
+// does with SnapshotEvery=1), kills the master at a chosen barrier, and
+// the test rebuilds a fresh world from that snapshot and resumes. The
+// metamorphic property under test: for a kill at ANY barrier, the
+// resumed run finishes with a job table and provider world bit-identical
+// to the uninterrupted run's.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/model"
+)
+
+// worldExport is the crash-consistent state of every layer at one
+// durability barrier — what the replay layer would have snapshotted.
+type worldExport struct {
+	ctl      ControllerState
+	master   MasterState
+	provider cloud.ProviderState
+}
+
+// crashAt is a Checkpointer that snapshots the world at every
+// snapshotting barrier and kills the master at the killAt-th barrier
+// (1-based; 0 never kills). Mid-recovery barriers are kill-check only,
+// mirroring replay.Manager, so a kill there restores the PhaseRecovery
+// snapshot and re-executes the whole recovery cycle.
+type crashAt struct {
+	ctl      *Controller
+	master   *Master
+	provider *cloud.Provider
+	killAt   int
+	count    int
+	phases   []Phase
+	snap     worldExport
+}
+
+func (k *crashAt) Barrier(jobID string, phase Phase) error {
+	k.count++
+	k.phases = append(k.phases, phase)
+	if phase != PhaseRecoveryMid {
+		k.snap = worldExport{k.ctl.ExportState(), k.master.ExportState(), k.provider.ExportState()}
+	}
+	if k.killAt > 0 && k.count == k.killAt {
+		return ErrMasterKilled
+	}
+	return nil
+}
+
+// newDurableWorld is newFaultController plus an attached crash
+// checkpointer.
+func newDurableWorld(t *testing.T, fp cloud.FaultPlan, killAt int) (*Controller, *crashAt) {
+	t.Helper()
+	ctl, provider := newFaultController(t, fp)
+	k := &crashAt{ctl: ctl, master: ctl.master, provider: provider, killAt: killAt}
+	ctl.Durability = k
+	return ctl, k
+}
+
+// restoreWorld builds a completely fresh controller/master/provider and
+// applies the snapshot, the way a restarted master process would.
+func restoreWorld(t *testing.T, snap worldExport) *Controller {
+	t.Helper()
+	master := newMaster(t)
+	now := new(float64)
+	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
+	ctl := NewController(master, provider, nil, "")
+	ctl.AdvanceClock = func(dt float64) { *now += dt }
+	ctl.Recovery.Sleep = func(time.Duration) {}
+	provider.RestoreState(snap.provider)
+	*now = snap.provider.ClockSec
+	master.RestoreState(snap.master)
+	ctl.RestoreState(snap.ctl)
+	return ctl
+}
+
+// resumeAll restores a world from snap and drives every pending job to
+// completion, returning the controller for inspection.
+func resumeAll(t *testing.T, snap worldExport) *Controller {
+	t.Helper()
+	ctl := restoreWorld(t, snap)
+	resume, queued, leftover := ctl.PendingJobs()
+	if len(queued) != 0 || len(leftover) != 0 {
+		t.Fatalf("unexpected queued=%v leftover=%v", queued, leftover)
+	}
+	for _, id := range resume {
+		if _, err := ctl.ResumeJob(id); err != nil {
+			t.Fatalf("resume %s: %v", id, err)
+		}
+	}
+	return ctl
+}
+
+// TestKillResumeAtEveryBarrier kills the master at every durability
+// barrier of a run that includes a preemption recovery, resumes each
+// crash from its snapshot in a fresh world, and requires the final
+// controller and provider state to be bit-identical to the
+// uninterrupted run's.
+func TestKillResumeAtEveryBarrier(t *testing.T) {
+	nInst, t0 := baselineShape(t)
+	fp := lastInstancePlan(nInst, t0)
+
+	ctl0, k0 := newDurableWorld(t, fp, 0)
+	job0 := mustSubmit(t, ctl0, recoveryGoal)
+	if job0.Status != StatusSucceeded {
+		t.Fatalf("uninterrupted status = %s (%s)", job0.Status, job0.Err)
+	}
+	if job0.Recoveries == 0 {
+		t.Fatal("scenario produced no recovery; the sweep would skip the recovery barriers")
+	}
+	want := worldExport{ctl0.ExportState(), k0.master.ExportState(), k0.provider.ExportState()}
+
+	seen := map[Phase]bool{}
+	for killAt := 1; killAt <= k0.count; killAt++ {
+		phase := k0.phases[killAt-1]
+		seen[phase] = true
+		ctl1, k1 := newDurableWorld(t, fp, killAt)
+		_, err := mustSubmitKilled(t, ctl1)
+		if !errors.Is(err, ErrMasterKilled) {
+			t.Fatalf("killAt=%d (%s): err = %v, want ErrMasterKilled", killAt, phase, err)
+		}
+		ctl2 := resumeAll(t, k1.snap)
+		got := ctl2.ExportState()
+		if !reflect.DeepEqual(got, want.ctl) {
+			t.Errorf("killAt=%d (%s): controller state diverged from uninterrupted run\n got %+v\nwant %+v",
+				killAt, phase, got, want.ctl)
+		}
+		if gotP := exportProvider(ctl2); !reflect.DeepEqual(gotP, want.provider) {
+			t.Errorf("killAt=%d (%s): provider state diverged\n got %+v\nwant %+v",
+				killAt, phase, gotP, want.provider)
+		}
+	}
+	for _, p := range []Phase{PhaseSegment, PhaseRecovery, PhaseRecoveryMid, PhaseFinal, PhaseDone} {
+		if !seen[p] {
+			t.Errorf("sweep never crossed a %s barrier", p)
+		}
+	}
+}
+
+// mustSubmitKilled submits the standard workload expecting the pipeline
+// to die at a barrier.
+func mustSubmitKilled(t *testing.T, ctl *Controller) (*Job, error) {
+	t.Helper()
+	w, err := model.WorkloadByName("mnist DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl.Submit(w, recoveryGoal)
+}
+
+func exportProvider(c *Controller) cloud.ProviderState { return c.provider.ExportState() }
+
+// TestDoubleCrashResume kills the master mid-recovery, kills the
+// restarted master again during the resume (before any new snapshot),
+// and requires the third incarnation to still converge on the
+// uninterrupted outcome.
+func TestDoubleCrashResume(t *testing.T) {
+	nInst, t0 := baselineShape(t)
+	fp := lastInstancePlan(nInst, t0)
+
+	ctl0, k0 := newDurableWorld(t, fp, 0)
+	job0 := mustSubmit(t, ctl0, recoveryGoal)
+	if job0.Status != StatusSucceeded {
+		t.Fatalf("uninterrupted status = %s", job0.Status)
+	}
+	want := ctl0.ExportState()
+
+	// First crash: at the kill-check inside the recovery cycle, the
+	// hardest restart shape (mid-StatusRecovering).
+	killAt := 0
+	for i, p := range k0.phases {
+		if p == PhaseRecoveryMid {
+			killAt = i + 1
+			break
+		}
+	}
+	if killAt == 0 {
+		t.Fatal("no mid-recovery barrier in the baseline run")
+	}
+	ctl1, k1 := newDurableWorld(t, fp, killAt)
+	if _, err := mustSubmitKilled(t, ctl1); !errors.Is(err, ErrMasterKilled) {
+		t.Fatalf("first crash: err = %v", err)
+	}
+
+	// Second crash: the resumed pipeline dies at its first barrier. The
+	// second incarnation took no snapshot of its own yet, so the third
+	// restores the SAME snapshot — k2.snap starts as the restored world.
+	ctl2 := restoreWorld(t, k1.snap)
+	k2 := &crashAt{ctl: ctl2, master: ctl2.master, provider: ctl2.provider, killAt: 1, snap: k1.snap}
+	ctl2.Durability = k2
+	resume, _, _ := ctl2.PendingJobs()
+	if len(resume) != 1 {
+		t.Fatalf("resume list = %v, want one job", resume)
+	}
+	if _, err := ctl2.ResumeJob(resume[0]); !errors.Is(err, ErrMasterKilled) {
+		t.Fatalf("second crash: err = %v, want ErrMasterKilled", err)
+	}
+
+	ctl3 := resumeAll(t, k2.snap)
+	if got := ctl3.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Errorf("after double crash, state diverged\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestKillAtAdmitRequeues crashes at the admission barrier — the job is
+// durable but no worker ever picked it up — and checks the restarted
+// master re-enqueues it to the same outcome as an undisturbed
+// queue-path run.
+func TestKillAtAdmitRequeues(t *testing.T) {
+	w, err := model.WorkloadByName("mnist DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ctl0, _ := newDurableWorld(t, cloud.FaultPlan{}, 0)
+	job0, err := ctl0.Enqueue(w, recoveryGoal, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl0.Wait(ctx, job0.ID); err != nil {
+		t.Fatal(err)
+	}
+	want := ctl0.ExportState()
+
+	ctl1, k1 := newDurableWorld(t, cloud.FaultPlan{}, 1)
+	if _, err := ctl1.Enqueue(w, recoveryGoal, ""); !errors.Is(err, ErrMasterKilled) {
+		t.Fatalf("admit kill: err = %v, want ErrMasterKilled", err)
+	}
+	if k1.phases[0] != PhaseAdmit {
+		t.Fatalf("first barrier = %s, want %s", k1.phases[0], PhaseAdmit)
+	}
+
+	ctl2 := restoreWorld(t, k1.snap)
+	resume, queued, leftover := ctl2.PendingJobs()
+	if len(resume) != 0 || len(leftover) != 0 || len(queued) != 1 {
+		t.Fatalf("pending = resume %v queued %v leftover %v, want one queued", resume, queued, leftover)
+	}
+	if err := ctl2.Requeue(queued[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl2.Wait(ctx, queued[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl2.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Errorf("requeued run diverged\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPendingJobsLeftoverTeardown covers the crash window between a
+// job's terminal bookkeeping and its teardown: the restored job is
+// terminal yet still holds instances, and TeardownJob releases them.
+func TestPendingJobsLeftoverTeardown(t *testing.T) {
+	ctl, provider := newFaultController(t, cloud.FaultPlan{})
+	w, err := model.WorkloadByName("mnist DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.RestoreState(ControllerState{
+		NextJob: 1,
+		Jobs: []JobState{{
+			ID: "job-1", TraceID: "trace-000001", Workload: w, Goal: recoveryGoal,
+			Status: StatusSucceeded, History: []JobStatus{StatusSucceeded}, Seq: 1,
+		}},
+	})
+	if _, err := provider.Launch(m4(t).Name, 2, map[string]string{"job": "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	resume, queued, leftover := ctl.PendingJobs()
+	if len(resume) != 0 || len(queued) != 0 || !reflect.DeepEqual(leftover, []string{"job-1"}) {
+		t.Fatalf("pending = %v %v %v, want leftover [job-1]", resume, queued, leftover)
+	}
+	ctl.TeardownJob("job-1")
+	for _, inst := range provider.List(map[string]string{"job": "job-1"}) {
+		if inst.State == cloud.StateRunning || inst.State == cloud.StatePending {
+			t.Fatalf("instance %s still %s after TeardownJob", inst.ID, inst.State)
+		}
+	}
+	if _, _, leftover := ctl.PendingJobs(); len(leftover) != 0 {
+		t.Fatalf("leftover %v after teardown", leftover)
+	}
+	// Terminal jobs resume as a no-op; unknown jobs error.
+	if job, err := ctl.ResumeJob("job-1"); err != nil || job.Status != StatusSucceeded {
+		t.Fatalf("resume of terminal job: %v, %v", job, err)
+	}
+	if _, err := ctl.ResumeJob("job-404"); err == nil {
+		t.Fatal("resume of unknown job succeeded")
+	}
+}

@@ -91,6 +91,36 @@ func TestDebugJournalEndpoint(t *testing.T) {
 	}
 }
 
+// TestDebugJournalTruncationHeader pins the eviction contract: when the
+// bounded ring has dropped events past the caller's cursor, the response
+// carries X-Journal-Truncated with the oldest retained sequence.
+func TestDebugJournalTruncationHeader(t *testing.T) {
+	api, _ := newTestAPI(t)
+	h := api.Handler()
+	jrnl := journal.New(2, journal.Deterministic())
+	api.master.SetJournal(jrnl, nil)
+	for i := 0; i < 5; i++ {
+		jrnl.Append(journal.Event{Source: "test", Type: journal.SegmentStart, At: float64(i)})
+	}
+	// Ring holds seqs 4..5; a cursor at 0 lost 1..3.
+	rec, _ := doJSON(t, h, "GET", "/debug/journal", "")
+	if got := rec.Header().Get("X-Journal-Truncated"); got != "4" {
+		t.Errorf("X-Journal-Truncated = %q, want 4", got)
+	}
+	if lines := strings.Count(rec.Body.String(), "\n"); lines != 2 {
+		t.Errorf("stream has %d lines, want the 2 retained", lines)
+	}
+	// A cursor already at or past the eviction horizon sees no header.
+	rec, _ = doJSON(t, h, "GET", "/debug/journal?after=3", "")
+	if got := rec.Header().Get("X-Journal-Truncated"); got != "" {
+		t.Errorf("in-range cursor got X-Journal-Truncated = %q", got)
+	}
+	rec, _ = doJSON(t, h, "GET", "/debug/journal?after=5", "")
+	if got := rec.Header().Get("X-Journal-Truncated"); got != "" {
+		t.Errorf("caught-up cursor got X-Journal-Truncated = %q", got)
+	}
+}
+
 // TestMasterSetJournal swaps in a deterministic journal and checks master
 // bookkeeping lands in it with the supplied clock.
 func TestMasterSetJournal(t *testing.T) {

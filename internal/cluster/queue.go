@@ -98,8 +98,39 @@ func (c *Controller) Enqueue(w *model.Workload, goal plan.Goal, traceID string) 
 		return nil, err
 	}
 	c.setStatus(job, StatusQueued)
+	// Admission durability barrier: the accepted job must survive a crash
+	// even before a worker picks it up — a restarted master re-enqueues
+	// every StatusQueued job without a segment state.
+	if c.Durability != nil {
+		if err := c.Durability.Barrier(job.ID, PhaseAdmit); err != nil {
+			return job, err // master killed at admission
+		}
+	}
 	q.ch <- job
 	return job, nil
+}
+
+// Requeue puts a restored StatusQueued job back on the workqueue after a
+// restart. Unlike Enqueue it registers nothing — the job already exists.
+func (c *Controller) Requeue(id string) error {
+	q := &c.queue
+	q.qmu.Lock()
+	defer q.qmu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	c.startQueueLocked()
+	if len(q.ch) == cap(q.ch) {
+		return ErrQueueFull
+	}
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return errors.New("cluster: no such job " + id)
+	}
+	q.ch <- job
+	return nil
 }
 
 // DrainQueue stops admitting new submissions and waits for every queued

@@ -136,6 +136,13 @@ type runState struct {
 	burnProv  float64
 	burnTrain float64
 	burnRec   float64
+	// Durability bookkeeping (see state.go): the last barrier passed, the
+	// instance whose predicted preemption interrupted the current
+	// segment, and that segment's lost iterations — carried in the state
+	// so a recovery cycle interrupted by a master crash replays whole.
+	phase          Phase
+	pendingPreempt string
+	segLost        int
 }
 
 // chargeTime bills a simulated duration against the job: the deadline
@@ -186,6 +193,11 @@ func (c *Controller) launchRetry(job *Job, typeName string, n int, rc RecoveryCo
 func (c *Controller) runSegments(st *runState) error {
 	jb := c.jbind(st.job)
 	for st.done < st.totalIters {
+		// Durability barrier: everything up to here is checkpoint-backed;
+		// a master crash during the segment resumes from this point.
+		if err := c.barrier(st, PhaseSegment); err != nil {
+			return err
+		}
 		remaining := st.totalIters - st.done
 		segBase := c.provider.Now()
 		jb.Emit(journal.SegmentStart,
@@ -207,7 +219,7 @@ func (c *Controller) runSegments(st *runState) error {
 		// Ask the provider — the simulation's stand-in for the cloud's
 		// preemption notice — whether any of this job's instances is
 		// scheduled to die, and schedule the matching docker kill.
-		pendingID := ""
+		st.pendingPreempt = ""
 		if id, at, ok := c.provider.NextPreemption(map[string]string{"job": st.job.ID}); ok {
 			rel := at - c.provider.Now()
 			if rel < 0 {
@@ -215,7 +227,7 @@ func (c *Controller) runSegments(st *runState) error {
 			}
 			role, idx := c.faultTarget(st.job.ID, id)
 			opts.Faults = []ddnnsim.Fault{{AtSec: rel, Role: role, Index: idx}}
-			pendingID = id
+			st.pendingPreempt = id
 		}
 		sim, err := ddnnsim.Run(st.w, cloud.Homogeneous(st.plan.Type, st.plan.Workers, st.plan.PS), opts)
 		if err != nil {
@@ -235,12 +247,20 @@ func (c *Controller) runSegments(st *runState) error {
 			journal.Fbool("interrupted", sim.Interrupted))
 		if !sim.Interrupted {
 			st.done += sim.Iterations
+			st.pendingPreempt = ""
 			return nil
 		}
 		st.done += sim.CheckpointIter
 		st.lost += sim.LostIterations
+		st.segLost = sim.LostIterations
 		rcObs().lost.Add(int64(sim.LostIterations))
-		if err := c.recoverJob(st, pendingID, sim); err != nil {
+		// Durability barrier: the interrupted segment's accounting is
+		// applied; a crash from here to the end of the recovery cycle
+		// re-executes recoverJob whole.
+		if err := c.barrier(st, PhaseRecovery); err != nil {
+			return err
+		}
+		if err := c.recoverJob(st); err != nil {
 			return err
 		}
 	}
@@ -250,16 +270,19 @@ func (c *Controller) runSegments(st *runState) error {
 // recoverJob is one recovery cycle: confirm the revocation, free the dead
 // nodes, charge the restart overhead, re-plan against the remaining
 // budget if the surviving plan misses the deadline, and otherwise replace
-// the dead instances like-for-like.
-func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Result) error {
+// the dead instances like-for-like. Its inputs (the pending preemption
+// and the interrupted segment's lost iterations) live in the runState so
+// a cycle interrupted by a master crash re-executes identically after a
+// restart from the PhaseRecovery barrier.
+func (c *Controller) recoverJob(st *runState) error {
 	job := st.job
 	wallStart := time.Now() // wall latency metric only; never journaled
 	simStart := st.elapsed
 	// Land the predicted revocation in the provider (the simulated
 	// segment already honoured it; forcing it here avoids floating-point
 	// dust between the two clocks) and collect everything newly dead.
-	if pendingID != "" {
-		_ = c.provider.Preempt(pendingID)
+	if st.pendingPreempt != "" {
+		_ = c.provider.Preempt(st.pendingPreempt)
 	}
 	var failed []cloud.Instance
 	for _, inst := range c.provider.ApplyDueFaults() {
@@ -275,11 +298,11 @@ func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Res
 	}
 	c.master.log.record("InstancePreempted", "job/"+job.ID,
 		"%s preempted; %d/%d iterations checkpointed, %d lost",
-		strings.Join(ids, ","), st.done, st.totalIters, sim.LostIterations)
+		strings.Join(ids, ","), st.done, st.totalIters, st.segLost)
 	c.jbind(job).Emit(journal.RecoveryStart,
 		journal.F("instances", strings.Join(ids, ",")),
 		journal.Fint("checkpoint_iter", st.done),
-		journal.Fint("lost_iterations", sim.LostIterations))
+		journal.Fint("lost_iterations", st.segLost))
 	if st.rc.Disabled {
 		return fmt.Errorf("cluster: instance %s preempted after %d/%d iterations and recovery is disabled",
 			strings.Join(ids, ","), st.done, st.totalIters)
@@ -306,6 +329,13 @@ func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Res
 	// Checkpoint restore and container restart are not free.
 	c.chargeTime(st, st.rc.RestartOverheadSec)
 	st.burnRec += st.rc.RestartOverheadSec
+	// Kill-check-only barrier: a master crash mid-recovery (the
+	// transient-server storm case — the controller dies while busiest)
+	// resumes from the PhaseRecovery barrier and re-executes this whole
+	// cycle; nothing is snapshotted here.
+	if err := c.barrier(st, PhaseRecoveryMid); err != nil {
+		return err
+	}
 
 	// Deadline check: if the surviving plan's predicted time for the
 	// remaining iterations exceeds the remaining budget Tg' = Tg −
@@ -339,6 +369,7 @@ func (c *Controller) recoverJob(st *runState, pendingID string, sim *ddnnsim.Res
 		journal.Fbool("replanned", replanned),
 		journal.Ffloat("recovery_sec", st.elapsed-simStart))
 	c.setStatus(job, StatusRunning)
+	st.pendingPreempt, st.segLost = "", 0
 	return nil
 }
 

@@ -24,7 +24,7 @@ func newFaultController(t *testing.T, fp cloud.FaultPlan) (*Controller, *cloud.P
 	master := newMaster(t)
 	now := new(float64)
 	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
-	if fp != (cloud.FaultPlan{}) {
+	if !fp.IsZero() {
 		provider.SetFaultPlan(fp)
 	}
 	ctl := NewController(master, provider, nil, "")

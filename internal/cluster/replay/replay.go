@@ -1,0 +1,355 @@
+// Package replay makes the control plane crash-durable and provably
+// replayable. A Manager owns a state directory holding a write-ahead log
+// (every flight-recorder event, CRC-framed and fsynced before the
+// in-memory ring can evict it) and periodic world snapshots (controller
+// job table and segment state machines, master node/pod registry, cloud
+// provider world, journal counters). It plugs into the stack at two
+// points:
+//
+//   - as the journal's sink: every event the control plane emits is
+//     framed into the WAL before Append returns;
+//   - as the controller's Checkpointer: at each durability barrier it
+//     snapshots the world (every SnapshotEvery barriers; always at admit
+//     and done) and reports scheduled master kills from the fault plan.
+//
+// On restart, Open recovers the newest valid snapshot plus the log tail,
+// and Rebuild applies them to a freshly constructed world: terminal jobs
+// come back finished, queued jobs are re-enqueued, and in-flight jobs
+// resume from their last barrier — including jobs that died
+// mid-StatusRecovering.
+//
+// Two modes differ in what happens to the log tail (events after the
+// snapshot, durable but not yet covered by one):
+//
+//   - ModeResume (cmd/master): the tail stays in the journal as history
+//     and re-executed segments append new events. Honest about a real
+//     crash: re-executed work is re-journaled.
+//   - ModeStrict (simtest): the journal rewinds to the snapshot and the
+//     tail becomes a verification queue — every re-emitted event is
+//     byte-compared against the recovered tail and consumed instead of
+//     re-appended. A deterministic world therefore ends with a WAL
+//     byte-identical to an uninterrupted run's; any divergence is
+//     reported by VerifyError.
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cluster"
+	"cynthia/internal/obs"
+	"cynthia/internal/obs/journal"
+	"cynthia/internal/obs/journal/wal"
+)
+
+// Mode selects how the recovered log tail is treated; see the package
+// comment.
+type Mode int
+
+// Replay modes.
+const (
+	ModeResume Mode = iota
+	ModeStrict
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Mode is ModeResume (default) or ModeStrict.
+	Mode Mode
+	// SnapshotEvery snapshots the world every Nth segment/recovery
+	// barrier (default 4). Admit and done barriers always snapshot.
+	SnapshotEvery int
+	// WAL tunes the underlying write-ahead log.
+	WAL wal.Options
+}
+
+// WorldSnapshot is the serialized control-plane world at one journal
+// sequence number. The journal ring itself is not duplicated here — the
+// WAL has every event; the snapshot only pins the counters so sequence
+// numbering stays contiguous across restarts.
+type WorldSnapshot struct {
+	TakenAtSeq uint64                  `json:"taken_at_seq"`
+	SrcSeqs    map[string]uint64       `json:"src_seqs,omitempty"`
+	Controller cluster.ControllerState `json:"controller"`
+	Master     cluster.MasterState     `json:"master"`
+	Provider   cloud.ProviderState     `json:"provider"`
+}
+
+// Manager is the durability engine. It implements io.Writer (the journal
+// sink) and cluster.Checkpointer (the barrier callback).
+type Manager struct {
+	dir  string
+	opts Options
+	w    *wal.WAL
+
+	// Recovered state, fixed at Open.
+	snap    *WorldSnapshot
+	events  []journal.Event // every durable WAL event, in order
+	history []journal.Event // events at or before the snapshot
+	tailRaw [][]byte        // raw frames after the snapshot
+
+	// wmu guards the sink path. It is taken while the journal holds its
+	// own lock (Append -> sink.Write), so nothing under wmu may call back
+	// into the journal.
+	wmu       sync.Mutex
+	pending   [][]byte
+	verifyErr error
+
+	// mu guards the barrier path and the attached world references.
+	mu       sync.Mutex
+	ctl      *cluster.Controller
+	master   *cluster.Master
+	provider *cloud.Provider
+	jrnl     *journal.Journal
+	barriers int
+	closed   bool
+}
+
+// Open recovers the state directory (creating it if empty) and returns a
+// manager ready to Attach. WAL recovery truncates at the first bad
+// frame; snapshot recovery falls back to the previous snapshot when the
+// newest is corrupt.
+func Open(dir string, opts Options) (*Manager, error) {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = 4
+	}
+	w, err := wal.Open(dir, opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{dir: dir, opts: opts, w: w}
+	records, err := w.ReadAll()
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	for i, rec := range records {
+		e, err := journal.DecodeEvent(rec)
+		if err != nil {
+			// A frame that passed its CRC but does not decode is not a
+			// torn write — refuse to guess at the history.
+			w.Close()
+			return nil, fmt.Errorf("replay: undecodable WAL record %d: %w", i, err)
+		}
+		m.events = append(m.events, e)
+	}
+	payload, _, err := wal.LatestSnapshot(dir)
+	switch {
+	case err == nil:
+		var ws WorldSnapshot
+		if jerr := json.Unmarshal(payload, &ws); jerr != nil {
+			w.Close()
+			return nil, fmt.Errorf("replay: decoding snapshot: %w", jerr)
+		}
+		m.snap = &ws
+	case errors.Is(err, wal.ErrNoSnapshot):
+		// Replay from genesis.
+	default:
+		w.Close()
+		return nil, err
+	}
+	cut := uint64(0)
+	if m.snap != nil {
+		cut = m.snap.TakenAtSeq
+	}
+	for i, e := range m.events {
+		if e.Seq <= cut {
+			m.history = append(m.history, e)
+		} else {
+			m.tailRaw = append(m.tailRaw, records[i])
+		}
+	}
+	if m.opts.Mode == ModeStrict {
+		m.pending = m.tailRaw
+	}
+	return m, nil
+}
+
+// HasState reports whether the directory held anything to recover — a
+// snapshot or at least one durable event.
+func (m *Manager) HasState() bool { return m.snap != nil || len(m.events) > 0 }
+
+// Snapshot returns the recovered world snapshot, or nil when the
+// directory had none.
+func (m *Manager) Snapshot() *WorldSnapshot { return m.snap }
+
+// RecoveredEvents returns every durable event recovered from the WAL, in
+// append order.
+func (m *Manager) RecoveredEvents() []journal.Event {
+	return append([]journal.Event(nil), m.events...)
+}
+
+// TailLen returns how many recovered events lie beyond the snapshot.
+func (m *Manager) TailLen() int { return len(m.tailRaw) }
+
+// Write implements the journal sink: each call carries exactly one
+// canonical JSONL line, already framed by the journal under its lock. In
+// strict mode, re-emitted events are verified against (and consumed
+// from) the recovered tail instead of being re-appended.
+func (m *Manager) Write(p []byte) (int, error) {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if len(m.pending) > 0 {
+		if bytes.Equal(p, m.pending[0]) {
+			m.pending = m.pending[1:]
+			return len(p), nil
+		}
+		if m.verifyErr == nil {
+			m.verifyErr = fmt.Errorf("replay: divergence at replayed event: re-emitted %q, journal holds %q",
+				bytes.TrimRight(p, "\n"), bytes.TrimRight(m.pending[0], "\n"))
+		}
+		m.pending = nil // verification failed; stop consuming, keep logging
+	}
+	return m.w.Write(p)
+}
+
+// VerifyError reports the first divergence between re-executed events
+// and the recovered journal tail (strict mode), or nil.
+func (m *Manager) VerifyError() error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if m.verifyErr != nil {
+		return m.verifyErr
+	}
+	if len(m.pending) > 0 {
+		return fmt.Errorf("replay: %d recovered events were never re-emitted (first: %q)",
+			len(m.pending), bytes.TrimRight(m.pending[0], "\n"))
+	}
+	return nil
+}
+
+// Attach wires the live world the manager snapshots and rebuilds. Call
+// it after constructing the journal with WithSink(manager).
+func (m *Manager) Attach(ctl *cluster.Controller, master *cluster.Master, provider *cloud.Provider, jrnl *journal.Journal) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctl, m.master, m.provider, m.jrnl = ctl, master, provider, jrnl
+}
+
+// Rebuild applies the recovered snapshot and log tail to the attached
+// world and classifies the restored work. The journal resumes its
+// numbering from the recovered state; in resume mode the tail stays as
+// ring history, in strict mode the ring rewinds to the snapshot and the
+// tail awaits re-emission. Terminal jobs that still held instances (a
+// crash between finalize and teardown) are torn down here.
+func (m *Manager) Rebuild() (resume, queued []string, err error) {
+	m.mu.Lock()
+	ctl, master, provider, jrnl := m.ctl, m.master, m.provider, m.jrnl
+	m.mu.Unlock()
+	if ctl == nil {
+		return nil, nil, errors.New("replay: Rebuild before Attach")
+	}
+	if m.snap != nil {
+		provider.RestoreState(m.snap.Provider)
+		master.RestoreState(m.snap.Master)
+		ctl.RestoreState(m.snap.Controller)
+	}
+	switch {
+	case m.snap != nil && m.opts.Mode == ModeStrict:
+		jrnl.Restore(m.history, m.snap.TakenAtSeq, m.snap.SrcSeqs)
+	case m.snap != nil:
+		jrnl.Restore(m.events, m.snap.TakenAtSeq, m.snap.SrcSeqs)
+	case m.opts.Mode == ModeResume:
+		jrnl.Restore(m.events, 0, nil)
+	default:
+		// Strict genesis: the whole log is the verification queue; the
+		// journal starts empty and re-execution re-emits everything.
+	}
+	var leftover []string
+	resume, queued, leftover = ctl.PendingJobs()
+	for _, id := range leftover {
+		obs.Debugf("replay: job %s finished before the crash but still held instances; tearing down", id)
+		ctl.TeardownJob(id)
+	}
+	return resume, queued, nil
+}
+
+// Barrier implements cluster.Checkpointer: snapshot cadence plus the
+// master-kill check. Admit and done barriers always snapshot (an
+// admitted job and a terminal outcome must be durable immediately);
+// segment/recovery barriers snapshot every SnapshotEvery-th call;
+// mid-recovery barriers never snapshot. The kill check runs after the
+// snapshot, so a kill scheduled at a snapshotting barrier dies with its
+// own barrier already durable.
+func (m *Manager) Barrier(jobID string, phase cluster.Phase) error {
+	switch phase {
+	case cluster.PhaseRecoveryMid:
+		// kill-check only
+	case cluster.PhaseAdmit, cluster.PhaseDone:
+		if err := m.SnapshotNow(); err != nil {
+			obs.Debugf("replay: snapshot at %s barrier for %s: %v", phase, jobID, err)
+		}
+	default:
+		m.mu.Lock()
+		m.barriers++
+		due := m.barriers%m.opts.SnapshotEvery == 0
+		m.mu.Unlock()
+		if due {
+			if err := m.SnapshotNow(); err != nil {
+				obs.Debugf("replay: snapshot at %s barrier for %s: %v", phase, jobID, err)
+			}
+		}
+	}
+	m.mu.Lock()
+	provider := m.provider
+	m.mu.Unlock()
+	if provider != nil && provider.MasterKillDue() {
+		obs.Debugf("replay: master kill due at %s barrier for %s", phase, jobID)
+		return cluster.ErrMasterKilled
+	}
+	return nil
+}
+
+// SnapshotNow serializes the attached world and writes it as the newest
+// snapshot. The WAL is synced first: a snapshot must never reference
+// events the log has not durably written (the crash-consistency
+// invariant recovery depends on).
+func (m *Manager) SnapshotNow() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("replay: closed")
+	}
+	if m.ctl == nil {
+		return errors.New("replay: SnapshotNow before Attach")
+	}
+	if err := m.w.Sync(); err != nil {
+		return err
+	}
+	ws := WorldSnapshot{
+		TakenAtSeq: m.jrnl.LastSeq(),
+		SrcSeqs:    m.jrnl.SrcSeqs(),
+		Controller: m.ctl.ExportState(),
+		Master:     m.master.ExportState(),
+		Provider:   m.provider.ExportState(),
+	}
+	payload, err := json.Marshal(&ws)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	return wal.WriteSnapshot(m.dir, ws.TakenAtSeq, payload)
+}
+
+// Sync flushes the WAL to stable storage.
+func (m *Manager) Sync() error { return m.w.Sync() }
+
+// Dir returns the state directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Close flushes and closes the WAL. Further journal appends through the
+// sink will fail; take a final snapshot before closing on clean
+// shutdown.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	return m.w.Close()
+}

@@ -46,7 +46,7 @@ func robustness(cfg Config) ([]*Table, error) {
 		}
 		now := new(float64)
 		provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
-		if fp != (cloud.FaultPlan{}) {
+		if !fp.IsZero() {
 			provider.SetFaultPlan(fp)
 		}
 		ctl := cluster.NewController(master, provider, nil, "")

@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshots are point-in-time copies of the controller world, named by
+// the journal sequence number they were taken at: snap-<seq>.snap. Each
+// file carries the same 8-byte length+CRC32-C frame as a WAL record so a
+// half-written or bit-flipped snapshot is detected rather than trusted.
+// Writes go through a temp file, fsync, and os.Rename, so a snapshot is
+// either fully present or absent — never torn. The newest two snapshots
+// are retained: if a crash corrupts the newest (e.g. a torn sector the
+// rename happened to survive), recovery falls back to the previous one
+// and replays a longer log tail.
+
+// ErrNoSnapshot reports that the state directory has no usable snapshot;
+// recovery must replay the log from genesis.
+var ErrNoSnapshot = errors.New("wal: no usable snapshot")
+
+const snapshotsKept = 2
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// WriteSnapshot durably writes payload as the snapshot at journal
+// sequence seq and prunes all but the newest two snapshots. The write is
+// atomic: a crash at any point leaves either the old snapshot set or the
+// new one, never a torn file with a valid name.
+func WriteSnapshot(dir string, seq uint64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	framed := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(framed[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(framed[4:8], crc32.Checksum(payload, castagnoli))
+	copy(framed[frameHeaderSize:], payload)
+
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName(seq))); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %w", err)
+	}
+	pruneSnapshots(dir)
+	return nil
+}
+
+// snapshotSeqs lists the snapshot sequence numbers in dir, ascending.
+func snapshotSeqs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var s uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &s); err == nil {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// pruneSnapshots removes all but the newest snapshotsKept snapshots.
+// Pruning is best-effort: a leftover snapshot wastes disk, nothing else.
+func pruneSnapshots(dir string) {
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		return
+	}
+	for _, s := range seqs[:max(0, len(seqs)-snapshotsKept)] {
+		os.Remove(filepath.Join(dir, snapshotName(s)))
+	}
+}
+
+// LatestSnapshot returns the payload and journal sequence of the newest
+// valid snapshot in dir. A corrupt newest snapshot is skipped (and
+// deleted) in favor of the previous one; with no valid snapshot at all it
+// returns ErrNoSnapshot.
+func LatestSnapshot(dir string) (payload []byte, seq uint64, err error) {
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, ErrNoSnapshot
+		}
+		return nil, 0, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, snapshotName(seqs[i]))
+		payload, ok := readSnapshotFile(path)
+		if ok {
+			return payload, seqs[i], nil
+		}
+		os.Remove(path) // corrupt: fall back to the previous snapshot
+	}
+	return nil, 0, ErrNoSnapshot
+}
+
+// readSnapshotFile reads and CRC-verifies one snapshot file.
+func readSnapshotFile(path string) ([]byte, bool) {
+	framed, err := os.ReadFile(path)
+	if err != nil || len(framed) < frameHeaderSize {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(framed[0:4])
+	sum := binary.LittleEndian.Uint32(framed[4:8])
+	if int(n) != len(framed)-frameHeaderSize {
+		return nil, false
+	}
+	payload := framed[frameHeaderSize:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, false
+	}
+	return payload, true
+}

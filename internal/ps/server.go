@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -196,6 +197,40 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.wg.Add(1) // under mu: Close cannot Wait between the add and the spawn
 		s.mu.Unlock()
 		go s.handle(conn)
+	}
+}
+
+// StopAccepting closes the listener so no new worker can connect; live
+// connections keep serving. Safe to call repeatedly and before Listen.
+func (s *Server) StopAccepting() {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() // double-close returns an error we don't care about
+	}
+}
+
+// Drain stops accepting and waits until every live worker connection has
+// disconnected on its own, or ctx expires. It never tears down a live
+// connection — that is Close's job — so a bounded graceful shutdown is
+// Drain with a deadline followed by Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StopAccepting()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("ps: %d connections still live: %w", n, ctx.Err())
+		case <-tick.C:
+		}
 	}
 }
 

@@ -1,0 +1,146 @@
+package simtest
+
+// crash.go is the crash-restart harness behind the durability
+// metamorphic suite: it runs a scenario with master kills scheduled in
+// the fault plan, and on each simulated crash throws the whole control
+// plane away and rebuilds it from the state directory — exactly what a
+// restarted cmd/master process does — then resumes the in-flight job
+// from its last durability barrier. Strict replay mode verifies every
+// re-executed event byte-for-byte against the recovered WAL tail, so a
+// crashed-and-resumed run must end with the same journal an
+// uninterrupted run writes.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"cynthia/internal/cluster"
+	"cynthia/internal/cluster/replay"
+	"cynthia/internal/obs/journal/wal"
+)
+
+// CrashResult is what a crashed-and-resumed scenario run yields beyond
+// the usual outcome.
+type CrashResult struct {
+	Outcome *Outcome
+	// Crashes is how many times the master was killed and restarted.
+	Crashes int
+	// WALBytes is the final durable journal: every canonical JSONL line
+	// in the write-ahead log, concatenated.
+	WALBytes []byte
+}
+
+// maxIncarnations bounds the restart loop: every scheduled kill fires at
+// most once, so the process count can never legitimately exceed the kill
+// count plus the final clean run.
+func maxIncarnations(s *Scenario) int {
+	if s.Fault == nil {
+		return 1
+	}
+	return len(s.Fault.KillMasterAtSec) + 1
+}
+
+// RunScenarioCrashed replays a scenario whose fault plan schedules
+// master kills, restarting the control plane from stateDir after each
+// crash. Each incarnation is a completely fresh world (new master,
+// provider, controller, journal) rebuilt from the newest snapshot plus
+// the WAL tail; nothing survives a crash except the state directory.
+// The returned outcome is read from the final incarnation's job table.
+func RunScenarioCrashed(s *Scenario, stateDir string) (*CrashResult, error) {
+	crashes := 0
+	for incarnation := 0; incarnation < maxIncarnations(s)+1; incarnation++ {
+		job, err := runIncarnation(s, stateDir, crashes, incarnation == 0)
+		if errors.Is(err, cluster.ErrMasterKilled) {
+			crashes++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Clean finish: collect the durable journal for comparison.
+		records, err := wal.ReadDir(stateDir)
+		if err != nil {
+			return nil, err
+		}
+		return &CrashResult{
+			Outcome:  outcomeOf(job),
+			Crashes:  crashes,
+			WALBytes: bytes.Join(records, nil),
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario %s: master still crashing after %d incarnations", s.Name, maxIncarnations(s)+1)
+}
+
+// runIncarnation boots one master process lifetime: open the state
+// directory, rebuild the recovered world, resume or submit, and run
+// until the job finishes or the next scheduled kill fires. It returns
+// cluster.ErrMasterKilled when this incarnation crashed.
+func runIncarnation(s *Scenario, stateDir string, crashes int, first bool) (*cluster.Job, error) {
+	mgr, err := replay.Open(stateDir, replay.Options{Mode: replay.ModeStrict, SnapshotEvery: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer mgr.Close()
+	world, err := buildWorld(s, mgr)
+	if err != nil {
+		return nil, err
+	}
+	world.ctl.Durability = mgr
+	mgr.Attach(world.ctl, world.master, world.provider, world.jrnl)
+
+	if first {
+		if mgr.HasState() {
+			return nil, fmt.Errorf("scenario %s: state dir %s not empty on first boot", s.Name, stateDir)
+		}
+		job, err := world.ctl.Submit(world.workload, s.goal())
+		if job == nil {
+			return nil, err
+		}
+		if errors.Is(err, cluster.ErrMasterKilled) {
+			return job, err
+		}
+		// Any other error is a terminal job outcome (StatusFailed), not a
+		// harness failure — the golden Outcome records it.
+		return job, mgr.VerifyError()
+	}
+
+	resume, queued, err := mgr.Rebuild()
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot predates the crash, so its kill bookkeeping may not
+	// include the kill that ended the previous incarnation. The harness
+	// knows the true crash count — without this override the same kill
+	// would re-fire at the first barrier and the master would crash-loop.
+	world.provider.SetMasterKillsTaken(crashes)
+	if snap := mgr.Snapshot(); snap != nil {
+		*world.now = snap.Provider.ClockSec
+	}
+	// Scenario runs submit synchronously, so a crash can never strand a
+	// job at the admission barrier here (that path is covered by the
+	// cluster-level durability tests over Enqueue/Requeue).
+	if len(queued) != 0 {
+		return nil, fmt.Errorf("scenario %s: unexpected queued jobs after restart: %v", s.Name, queued)
+	}
+	var last *cluster.Job
+	for _, id := range resume {
+		job, err := world.ctl.ResumeJob(id)
+		if errors.Is(err, cluster.ErrMasterKilled) {
+			return job, err
+		}
+		if job == nil {
+			return nil, err
+		}
+		last = job // a non-kill error failed the job; that IS the outcome
+	}
+	if last == nil {
+		// Nothing was in flight: the crash hit after the terminal barrier.
+		jobs := world.ctl.Jobs()
+		if len(jobs) == 0 {
+			return nil, fmt.Errorf("scenario %s: restart recovered no jobs", s.Name)
+		}
+		last = &jobs[len(jobs)-1]
+	}
+	return last, mgr.VerifyError()
+}

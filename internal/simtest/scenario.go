@@ -14,6 +14,7 @@ package simtest
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -37,6 +38,10 @@ type FaultSpec struct {
 	PreemptMaxSec           float64 `json:"preempt_max_sec,omitempty"`
 	PreemptAtSec            float64 `json:"preempt_at_sec,omitempty"`
 	PreemptNth              int     `json:"preempt_nth,omitempty"`
+	// KillMasterAtSec schedules master crashes: each entry kills the
+	// control plane at the first durability barrier at or after that
+	// simulated time (requires the crash-restart harness, RunScenarioCrashed).
+	KillMasterAtSec []float64 `json:"kill_master_at_sec,omitempty"`
 }
 
 func (f *FaultSpec) plan() cloud.FaultPlan {
@@ -50,6 +55,7 @@ func (f *FaultSpec) plan() cloud.FaultPlan {
 		PreemptMaxSec:           f.PreemptMaxSec,
 		PreemptAtSec:            f.PreemptAtSec,
 		PreemptNth:              f.PreemptNth,
+		KillMasterAtSec:         append([]float64(nil), f.KillMasterAtSec...),
 	}
 }
 
@@ -133,14 +139,31 @@ func RunScenario(s *Scenario) (*Outcome, error) {
 	return out, err
 }
 
-// RunScenarioDetailed is RunScenario plus the run's flight-recorder
-// journal. The journal runs in deterministic mode (no wall clock) on the
-// simulated provider clock, so two replays of the same scenario produce
-// byte-identical canonical JSONL.
-func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
+// scenarioWorld is one fully wired control plane for a scenario replay:
+// master, provider on a manually driven clock, controller, deterministic
+// journal. The crash-restart harness builds a fresh one per master
+// incarnation.
+type scenarioWorld struct {
+	workload *model.Workload
+	master   *cluster.Master
+	provider *cloud.Provider
+	ctl      *cluster.Controller
+	jrnl     *journal.Journal
+	now      *float64
+}
+
+// goal returns the scenario's training goal.
+func (s *Scenario) goal() plan.Goal {
+	return plan.Goal{TimeSec: s.GoalTimeSec, LossTarget: s.LossTarget}
+}
+
+// buildWorld wires the scenario's control plane. A non-nil sink receives
+// every journal event in canonical JSONL (the durable WAL path);
+// RunScenario passes nil and keeps the journal in memory only.
+func buildWorld(s *Scenario, sink io.Writer) (*scenarioWorld, error) {
 	w, err := model.WorkloadByName(s.Workload)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	switch s.Sync {
 	case "":
@@ -149,7 +172,7 @@ func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
 	case "asp":
 		w = w.WithSync(model.ASP)
 	default:
-		return nil, nil, fmt.Errorf("scenario %s: unknown sync mode %q", s.Name, s.Sync)
+		return nil, fmt.Errorf("scenario %s: unknown sync mode %q", s.Name, s.Sync)
 	}
 	if s.Iterations > 0 {
 		w = w.WithIterations(s.Iterations)
@@ -157,7 +180,7 @@ func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
 
 	master, err := cluster.NewMaster()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	now := new(float64)
 	provider := cloud.NewProvider(cloud.DefaultCatalog(), func() float64 { return *now })
@@ -165,7 +188,11 @@ func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
 	// provider clock only, never the wall clock, so the canonical JSONL is
 	// reproducible byte for byte. The capacity comfortably holds a full
 	// replay, so nothing wraps out of the ring.
-	jrnl := journal.New(16384, journal.Deterministic())
+	jopts := []journal.Option{journal.Deterministic()}
+	if sink != nil {
+		jopts = append(jopts, journal.WithSink(sink))
+	}
+	jrnl := journal.New(16384, jopts...)
 	master.SetJournal(jrnl, func() float64 { return *now })
 	provider.SetJournal(jrnl)
 	if s.Fault != nil {
@@ -186,13 +213,29 @@ func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
 	case "marginalgain":
 		ctl.UseProvisioner(baseline.MarginalGain{})
 	default:
-		return nil, nil, fmt.Errorf("scenario %s: unknown provisioner %q", s.Name, s.Provisioner)
+		return nil, fmt.Errorf("scenario %s: unknown provisioner %q", s.Name, s.Provisioner)
 	}
+	return &scenarioWorld{workload: w, master: master, provider: provider, ctl: ctl, jrnl: jrnl, now: now}, nil
+}
 
-	job, err := ctl.Submit(w, plan.Goal{TimeSec: s.GoalTimeSec, LossTarget: s.LossTarget})
+// RunScenarioDetailed is RunScenario plus the run's flight-recorder
+// journal. The journal runs in deterministic mode (no wall clock) on the
+// simulated provider clock, so two replays of the same scenario produce
+// byte-identical canonical JSONL.
+func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
+	world, err := buildWorld(s, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	job, err := world.ctl.Submit(world.workload, s.goal())
 	if job == nil {
 		return nil, nil, err
 	}
+	return outcomeOf(job), world.jrnl, nil
+}
+
+// outcomeOf converts a finished job into the golden Outcome shape.
+func outcomeOf(job *cluster.Job) *Outcome {
 	out := &Outcome{
 		Status:         string(job.Status),
 		Error:          job.Err,
@@ -212,5 +255,5 @@ func RunScenarioDetailed(s *Scenario) (*Outcome, *journal.Journal, error) {
 	for _, st := range job.History {
 		out.History = append(out.History, string(st))
 	}
-	return out, jrnl, nil
+	return out
 }

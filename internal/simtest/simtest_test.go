@@ -19,7 +19,7 @@ func TestGeneratorsDeterministic(t *testing.T) {
 			t.Fatalf("seed %d: GenRequest not deterministic", seed)
 		}
 		fa, fb := GenFaultPlan(NewRand(seed)), GenFaultPlan(NewRand(seed))
-		if fa != fb {
+		if !reflect.DeepEqual(fa, fb) {
 			t.Fatalf("seed %d: GenFaultPlan not deterministic", seed)
 		}
 	}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — end-to-end durability smoke test.
+#
+# Boots cmd/master with a state directory, submits jobs asynchronously,
+# SIGKILLs the master mid-run, restarts it over the same state directory,
+# and asserts that the restarted control plane recovers its durable state
+# and drives every admitted job to a terminal status. This is the
+# process-level counterpart of the in-process metamorphic suite in
+# internal/simtest (TestCrashRestartMatchesUninterrupted).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${CRASH_SMOKE_ADDR:-127.0.0.1:18097}"
+BASE="http://$ADDR"
+JOBS=3
+WORK="$(mktemp -d)"
+STATE="$WORK/state"
+BIN="$WORK/master"
+MASTER_PID=""
+trap '[ -n "$MASTER_PID" ] && kill "$MASTER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+go build -o "$BIN" ./cmd/master
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "crash-smoke: master on $ADDR did not become healthy" >&2
+  return 1
+}
+
+echo "crash-smoke: boot 1 (state dir $STATE)"
+"$BIN" -addr "$ADDR" -state-dir "$STATE" >"$WORK/boot1.log" 2>&1 &
+MASTER_PID=$!
+wait_healthy
+
+# Async submissions return as soon as the job is durably admitted, so the
+# SIGKILL below lands while work is still queued or running.
+for _ in $(seq 1 "$JOBS"); do
+  curl -fsS -X POST "$BASE/api/jobs?wait=false" \
+    -d '{"workload": "mnist DNN", "deadline_sec": 3600, "loss_target": 0.2}' >/dev/null
+done
+
+echo "crash-smoke: SIGKILL master (pid $MASTER_PID) with $JOBS jobs in flight"
+kill -9 "$MASTER_PID"
+wait "$MASTER_PID" 2>/dev/null || true
+MASTER_PID=""
+
+echo "crash-smoke: boot 2 over the same state dir"
+"$BIN" -addr "$ADDR" -state-dir "$STATE" >"$WORK/boot2.log" 2>&1 &
+MASTER_PID=$!
+wait_healthy
+if ! grep -q "recovered durable state" "$WORK/boot2.log"; then
+  echo "crash-smoke: restart did not report recovered state:" >&2
+  cat "$WORK/boot2.log" >&2
+  exit 1
+fi
+
+# Every admitted job must come back and reach a terminal status: queued
+# jobs are re-enqueued, in-flight jobs resume from their last barrier.
+jobs=""
+for _ in $(seq 1 300); do
+  jobs="$(curl -fsS "$BASE/api/jobs")"
+  total="$(jq 'length' <<<"$jobs")"
+  terminal="$(jq '[.[] | select(.status == "succeeded" or .status == "failed")] | length' <<<"$jobs")"
+  if [ "$total" -eq "$JOBS" ] && [ "$terminal" -eq "$JOBS" ]; then
+    echo "crash-smoke: all $total recovered jobs terminal after restart"
+    exit 0
+  fi
+  sleep 0.1
+done
+echo "crash-smoke: jobs did not reach terminal states after restart:" >&2
+jq . <<<"$jobs" >&2
+exit 1

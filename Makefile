@@ -86,7 +86,7 @@ bench-check:
 # points under the measured numbers so a coverage regression fails CI
 # without turning every refactor into a fight with the gate.
 coverage:
-	@set -e; for spec in internal/plan:80 internal/plan/service:90 internal/flow:80 internal/cluster:85 internal/cluster/replay:75 internal/obs:80 internal/obs/journal:80 internal/obs/journal/wal:75; do \
+	@set -e; for spec in internal/plan:80 internal/plan/service:90 internal/flow:80 internal/cluster:85 internal/cluster/replay:75 internal/cloud/pricing:80 internal/obs:80 internal/obs/journal:80 internal/obs/journal/wal:75; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		$(GO) test -count=1 -coverprofile=.cover.out ./$$pkg >/dev/null; \
 		total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
@@ -102,6 +102,7 @@ fuzz-smoke:
 	$(GO) test ./internal/plan -run '^$$' -fuzz '^FuzzRequestNormalize$$' -fuzztime 5s
 	$(GO) test ./internal/loss -run '^$$' -fuzz '^FuzzFit$$' -fuzztime 5s
 	$(GO) test ./internal/cloud -run '^$$' -fuzz '^FuzzFaultPlanSchedule$$' -fuzztime 5s
+	$(GO) test ./internal/cloud/pricing -run '^$$' -fuzz '^FuzzPriceTrace$$' -fuzztime 5s
 
 # planload-smoke drives the plan endpoint end to end for a moment: an
 # in-process master, concurrent clients, and a non-zero hit ratio

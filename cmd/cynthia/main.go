@@ -21,6 +21,7 @@ import (
 
 	"cynthia/internal/baseline"
 	"cynthia/internal/cloud"
+	"cynthia/internal/cloud/pricing"
 	"cynthia/internal/cluster"
 	"cynthia/internal/ddnnsim"
 	"cynthia/internal/model"
@@ -48,10 +49,14 @@ func main() {
 		seed         = flag.Int64("seed", 0, "fault-injection and simulation seed")
 		noRecovery   = flag.Bool("no-recovery", false, "fail the job on the first preemption instead of recovering")
 		timeline     = flag.Bool("timeline", false, "print the job's flight-recorder timeline after the run (controller pipeline only)")
+		spot         = flag.Bool("spot", false, "bid on the simulated spot market and re-plan at price change-points (enables the controller pipeline)")
+		traceFile    = flag.String("trace", "", "spot price-trace JSON file (a pricing.TraceSet); empty generates a mean-reverting market from -seed")
+		bidStrategy  = flag.String("bid-strategy", "balanced", "spot bidding posture: aggressive, balanced, or conservative")
 	)
 	flag.Parse()
-	if *faultRate > 0 || *preemptAt > 0 {
-		fi := faultInjection{Rate: *faultRate, PreemptAt: *preemptAt, Seed: *seed, NoRecovery: *noRecovery, Timeline: *timeline}
+	if *faultRate > 0 || *preemptAt > 0 || *spot {
+		fi := faultInjection{Rate: *faultRate, PreemptAt: *preemptAt, Seed: *seed, NoRecovery: *noRecovery, Timeline: *timeline,
+			Spot: *spot, TraceFile: *traceFile, BidStrategy: *bidStrategy}
 		if err := runControlled(*workloadName, *workloadFile, *deadline, *lossTarget, fi); err != nil {
 			fmt.Fprintln(os.Stderr, "cynthia:", err)
 			os.Exit(1)
@@ -65,13 +70,32 @@ func main() {
 	}
 }
 
-// faultInjection bundles the fault-mode flags.
+// faultInjection bundles the fault-mode and spot-market flags.
 type faultInjection struct {
-	Rate       float64
-	PreemptAt  float64
-	Seed       int64
-	NoRecovery bool
-	Timeline   bool
+	Rate        float64
+	PreemptAt   float64
+	Seed        int64
+	NoRecovery  bool
+	Timeline    bool
+	Spot        bool
+	TraceFile   string
+	BidStrategy string
+}
+
+// loadTraces reads the -trace file, or generates a deterministic
+// mean-reverting market over the catalog's types from the run seed.
+func loadTraces(path string, seed int64, catalog *cloud.Catalog) (*pricing.TraceSet, error) {
+	if path != "" {
+		return pricing.LoadTraceSet(path)
+	}
+	od := make(map[string]float64)
+	for _, t := range catalog.Types() {
+		od[t.Name] = t.PricePerHour
+	}
+	return pricing.GenerateSet("generated", od, pricing.GenSpec{
+		Kind: "mean-revert", Seed: seed, HorizonSec: 7200, StepSec: 60,
+		Base: 0.55, Volatility: 0.15, Min: 0.30, Max: 0.95,
+	})
 }
 
 // runControlled drives the full controller pipeline — master, simulated
@@ -106,6 +130,24 @@ func runControlled(workloadName, workloadFile string, deadline, lossTarget float
 	ctl.AdvanceClock = func(dt float64) { *now += dt }
 	ctl.SimSeed = fi.Seed
 	ctl.Recovery.Disabled = fi.NoRecovery
+	if fi.Spot {
+		strat, err := pricing.ParseStrategy(fi.BidStrategy)
+		if err != nil {
+			return err
+		}
+		set, err := loadTraces(fi.TraceFile, fi.Seed, provider.Catalog())
+		if err != nil {
+			return err
+		}
+		m, err := cloud.NewMarket(provider.Catalog(), set)
+		if err != nil {
+			return err
+		}
+		provider.SetMarket(m)
+		ctl.Elastic = cluster.ElasticConfig{Enabled: true, Market: m, Strategy: strat}
+		fmt.Printf("spot market: %d price traces (%s), %s bidding\n",
+			len(set.Traces), set.Name, strat)
+	}
 
 	fmt.Printf("submitting %s (deadline %.0fs, loss %.2f) with fault injection: rate %.2f, preempt-at %.0fs, seed %d\n",
 		w.Name, deadline, lossTarget, fi.Rate, fi.PreemptAt, fi.Seed)
@@ -127,6 +169,9 @@ func runControlled(workloadName, workloadFile string, deadline, lossTarget float
 		job.TrainingTime, deadline, 100*job.TrainingTime/deadline)
 	fmt.Printf("  cost:        $%.3f (plan predicted $%.3f)\n", job.Cost, job.Plan.Cost)
 	fmt.Printf("  recoveries:  %d (%d iterations of lost work redone)\n", job.Recoveries, job.LostIterations)
+	if fi.Spot {
+		fmt.Printf("  elastic:     %d mid-run scales at price change-points\n", job.ElasticScales)
+	}
 	if job.Err != "" {
 		fmt.Printf("  error:       %s\n", job.Err)
 	}

@@ -57,6 +57,7 @@ type Catalog struct {
 
 	mu    sync.RWMutex
 	types map[string]InstanceType
+	spot  map[string]float64 // current spot price per type, when a market is attached
 	epoch atomic.Uint64
 }
 
@@ -81,6 +82,7 @@ func NewCatalog(types ...InstanceType) (*Catalog, error) {
 	c := &Catalog{
 		id:    catalogIDs.Add(1),
 		types: make(map[string]InstanceType, len(types)),
+		spot:  make(map[string]float64),
 	}
 	for _, t := range types {
 		if err := validateType(t); err != nil {
@@ -141,8 +143,36 @@ func (c *Catalog) Remove(name string) error {
 		return fmt.Errorf("cloud: unknown instance type %q", name)
 	}
 	delete(c.types, name)
+	delete(c.spot, name)
 	c.epoch.Add(1)
 	return nil
+}
+
+// SetSpotPrice records the current spot-market price of one instance
+// type and bumps the epoch, so plan caches keyed on (ID, Epoch) drop
+// entries computed against the stale price. The on-demand price
+// (PricePerHour) is untouched; consumers that want the spot price read
+// it explicitly via SpotPrice.
+func (c *Catalog) SetSpotPrice(name string, pricePerHour float64) error {
+	if pricePerHour <= 0 {
+		return fmt.Errorf("cloud: spot price %.4f for %s must be positive", pricePerHour, name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.types[name]; !ok {
+		return fmt.Errorf("cloud: unknown instance type %q", name)
+	}
+	c.spot[name] = pricePerHour
+	c.epoch.Add(1)
+	return nil
+}
+
+// SpotPrice returns the last spot price recorded for the type, if any.
+func (c *Catalog) SpotPrice(name string) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.spot[name]
+	return p, ok
 }
 
 // Lookup returns the instance type with the given name.

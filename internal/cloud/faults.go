@@ -138,6 +138,21 @@ func (f *faultState) onInstance(now float64) (at float64, ok bool) {
 	return 0, false
 }
 
+// ensureFaultLocked returns the live fault injector, creating a
+// zero-plan one when none is installed. Spot launches need somewhere to
+// schedule price-crossing revocations even when no FaultPlan was set; a
+// zero plan never draws from the RNG, so creating it cannot perturb any
+// deterministic fault schedule. Callers hold p.mu.
+func (p *Provider) ensureFaultLocked() *faultState {
+	if p.fault == nil {
+		p.fault = &faultState{
+			rng:       rand.New(rand.NewSource(0)),
+			preemptAt: make(map[string]float64),
+		}
+	}
+	return p.fault
+}
+
 // SetFaultPlan installs (or, with a zero plan, removes) fault injection.
 // Instances already running keep any revocation already scheduled.
 func (p *Provider) SetFaultPlan(fp FaultPlan) {
@@ -286,6 +301,19 @@ func (p *Provider) journalLocked(typ EventType, inst *Instance, at float64) {
 		fields = append(fields,
 			journal.Ffloat("delay_sec", inst.ReadyAt-inst.LaunchedAt),
 			journal.Ffloat("price_per_hour", inst.Type.PricePerHour))
+		if inst.Spot {
+			// Spot-only fields, appended conditionally so on-demand launch
+			// events keep their exact historical byte encoding (the
+			// flat-trace bit-equivalence relation compares journal bytes).
+			spotPrice := 0.0
+			if p.market != nil {
+				spotPrice, _ = p.market.SpotPrice(inst.Type.Name, at)
+			}
+			fields = append(fields,
+				journal.Fbool("spot", true),
+				journal.Ffloat("spot_price_per_hour", spotPrice),
+				journal.Ffloat("bid_per_hour", inst.BidPerHour))
+		}
 	} else {
 		dur := at - inst.LaunchedAt
 		if dur < 0 {
@@ -293,7 +321,10 @@ func (p *Provider) journalLocked(typ EventType, inst *Instance, at float64) {
 		}
 		fields = append(fields,
 			journal.Ffloat("uptime_sec", dur),
-			journal.Ffloat("cost_usd", dur/3600*inst.Type.PricePerHour))
+			journal.Ffloat("cost_usd", p.instanceCostLocked(inst, at)))
+		if inst.Spot {
+			fields = append(fields, journal.Fbool("spot", true))
+		}
 	}
 	p.jrnl.Append(journal.Event{
 		Source: "cloud",

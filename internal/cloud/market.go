@@ -1,0 +1,119 @@
+package cloud
+
+// The spot market. A Market binds a pricing.TraceSet (per-type
+// piecewise-constant spot-price functions of simulated time) to a
+// Catalog. All planning-relevant reads — SpotPrice, FirstCrossAbove,
+// SpotCost — are STATELESS functions of (trace, time), so a restarted
+// master re-deriving a decision at the same provider-clock instant
+// reads exactly the prices the crashed master saw; nothing about market
+// position needs to live in a snapshot. AdvanceTo is the only mutating
+// call: it pushes the current prices into the catalog's spot map, whose
+// epoch bump is what invalidates cached plans — it never feeds back
+// into decisions, which always read the trace directly.
+
+import (
+	"errors"
+	"fmt"
+
+	"cynthia/internal/cloud/pricing"
+)
+
+// ErrSpotUnavailable is returned by LaunchSpot when the current market
+// price is above the bid: the provider will not hand out an instance
+// it would revoke immediately. Callers fall back to on-demand, as they
+// do for ErrCapacity.
+var ErrSpotUnavailable = errors.New("cloud: spot price above bid")
+
+// Market prices spot instances for a provider from replayable traces.
+type Market struct {
+	catalog *Catalog
+	set     *pricing.TraceSet
+}
+
+// NewMarket validates the trace set against the catalog (every traced
+// type must exist) and applies the time-zero prices to the catalog's
+// spot map, bumping its epoch once per type.
+func NewMarket(catalog *Catalog, set *pricing.TraceSet) (*Market, error) {
+	if catalog == nil || set == nil {
+		return nil, fmt.Errorf("cloud: market needs a catalog and a trace set")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	for _, tr := range set.Traces {
+		if _, err := catalog.Lookup(tr.Type); err != nil {
+			return nil, fmt.Errorf("cloud: market trace for %s: %v", tr.Type, err)
+		}
+	}
+	m := &Market{catalog: catalog, set: set}
+	m.AdvanceTo(0)
+	return m, nil
+}
+
+// Catalog returns the catalog this market reprices.
+func (m *Market) Catalog() *Catalog { return m.catalog }
+
+// Traces returns the underlying trace set.
+func (m *Market) Traces() *pricing.TraceSet { return m.set }
+
+// SpotPrice returns the spot price of the named type at the given
+// provider-clock time, read straight from the trace.
+func (m *Market) SpotPrice(name string, at float64) (float64, bool) {
+	tr, ok := m.set.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return tr.PriceAt(at), true
+}
+
+// NextChange returns the earliest price change strictly after the given
+// time across all traced types.
+func (m *Market) NextChange(after float64) (float64, bool) {
+	return m.set.NextChange(after)
+}
+
+// HasChangeIn reports whether any spot price changes in (t0, t1].
+func (m *Market) HasChangeIn(t0, t1 float64) bool {
+	at, ok := m.set.NextChange(t0)
+	return ok && at <= t1
+}
+
+// FirstCrossAbove returns the earliest time at or after the given one
+// when the named type's spot price strictly exceeds the bid — the
+// instant the market revokes instances bidding that much.
+func (m *Market) FirstCrossAbove(name string, bid, after float64) (float64, bool) {
+	tr, ok := m.set.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return tr.FirstCrossAbove(bid, after)
+}
+
+// SpotCost integrates the named type's spot price over [t0, t1]: the
+// USD cost of one spot instance across that window.
+func (m *Market) SpotCost(name string, t0, t1 float64) (float64, bool) {
+	tr, ok := m.set.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	return tr.CostBetween(t0, t1), true
+}
+
+// AdvanceTo pushes every type's spot price as of the given time into
+// the catalog's spot map and returns how many prices moved. Each move
+// bumps the catalog epoch, invalidating cached plans priced against the
+// old market. Idempotent: advancing twice to the same time moves
+// nothing the second call.
+func (m *Market) AdvanceTo(now float64) int {
+	moves := 0
+	for _, tr := range m.set.Traces {
+		price := tr.PriceAt(now)
+		if cur, ok := m.catalog.SpotPrice(tr.Type); ok && cur == price {
+			continue
+		}
+		if err := m.catalog.SetSpotPrice(tr.Type, price); err == nil {
+			moves++
+		}
+	}
+	return moves
+}

@@ -1,0 +1,80 @@
+package pricing
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzPriceTrace feeds arbitrary bytes through the Trace JSON decoder
+// and, for every trace that passes Validate, checks the invariants the
+// planner and provider rely on: strictly positive prices everywhere,
+// monotonically increasing change-points, additive cost integration,
+// and a byte-identical canonical re-marshal (idempotent round-trip).
+func FuzzPriceTrace(f *testing.F) {
+	f.Add([]byte(`{"type":"m4.xlarge","points":[{"at_sec":0,"price":0.2}]}`))
+	f.Add([]byte(`{"type":"c3.xlarge","points":[{"at_sec":0,"price":0.105},{"at_sec":600,"price":0.21},{"at_sec":1400,"price":0.07}]}`))
+	f.Add([]byte(`{"type":"t","points":[{"at_sec":0,"price":1e-9},{"at_sec":0.001,"price":1e9}]}`))
+	f.Add([]byte(`{"type":"t","points":[{"at_sec":5,"price":0.1}]}`))
+	f.Add([]byte(`{"type":"t","points":[{"at_sec":0,"price":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trace
+		if err := json.Unmarshal(data, &tr); err != nil {
+			t.Skip()
+		}
+		if err := tr.Validate(); err != nil {
+			t.Skip()
+		}
+		// Prices strictly positive at every probe, including between and
+		// beyond the committed change-points.
+		probes := []float64{-1, 0}
+		for _, p := range tr.Points {
+			probes = append(probes, p.AtSec, p.AtSec+0.5)
+		}
+		for _, at := range probes {
+			if price := tr.PriceAt(at); !(price > 0) || math.IsInf(price, 0) {
+				t.Fatalf("PriceAt(%v) = %v, want strictly positive finite", at, price)
+			}
+		}
+		// NextChange walks the change-points in strictly increasing order.
+		prev := math.Inf(-1)
+		at, ok := tr.NextChange(prev)
+		for steps := 0; ok; steps++ {
+			if at <= prev {
+				t.Fatalf("NextChange went backwards: %v after %v", at, prev)
+			}
+			if steps > len(tr.Points) {
+				t.Fatalf("NextChange yielded more change-points than the trace has")
+			}
+			prev = at
+			at, ok = tr.NextChange(prev)
+		}
+		// Cost integration is non-negative and additive across a split.
+		last := tr.Points[len(tr.Points)-1].AtSec
+		a, b, c := 0.0, last/2, last+100
+		ab, bc, ac := tr.CostBetween(a, b), tr.CostBetween(b, c), tr.CostBetween(a, c)
+		if ab < 0 || bc < 0 || ac < 0 {
+			t.Fatalf("negative cost: %v %v %v", ab, bc, ac)
+		}
+		if !math.IsInf(ac, 0) && math.Abs(ac-(ab+bc)) > 1e-9*math.Max(1, ac) {
+			t.Fatalf("cost not additive: %v != %v + %v", ac, ab, bc)
+		}
+		// Canonical re-marshal is idempotent byte-for-byte.
+		first, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Trace
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("unmarshal canonical form: %v", err)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("canonical marshal not idempotent:\n%s\n%s", first, second)
+		}
+	})
+}

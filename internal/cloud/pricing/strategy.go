@@ -1,0 +1,64 @@
+package pricing
+
+import "fmt"
+
+// Strategy is a bidding posture: when to take the spot market instead
+// of on-demand, and how much to bid when doing so. The bid matters
+// because the provider revokes spot instances the moment the market
+// price crosses above it.
+type Strategy string
+
+const (
+	// Aggressive chases any discount and bids barely above the current
+	// price — cheapest while it lasts, revoked by small upward moves.
+	Aggressive Strategy = "aggressive"
+	// Balanced takes the spot market only at a meaningful discount and
+	// bids the on-demand price, so only a price spike past on-demand
+	// revokes it.
+	Balanced Strategy = "balanced"
+	// Conservative requires a deep discount and overbids on-demand,
+	// surviving all but extreme spikes.
+	Conservative Strategy = "conservative"
+)
+
+// Thresholds and bid multipliers per strategy. All comparisons in
+// Decide are strict so a parity market (spot == on-demand) never picks
+// spot — the flat-trace bit-equivalence relation depends on that.
+const (
+	balancedDiscount     = 0.85
+	conservativeDiscount = 0.60
+	aggressiveBidFactor  = 1.05
+	conservativeBid      = 1.25
+)
+
+// ParseStrategy validates a strategy name from config/CLI input.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case Aggressive, Balanced, Conservative:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("pricing: unknown bid strategy %q (want aggressive, balanced, or conservative)", s)
+}
+
+// Decide returns whether to provision a slot on the spot market at the
+// current prices, and the bid to place if so.
+func (s Strategy) Decide(onDemand, spot float64) (useSpot bool, bid float64) {
+	if onDemand <= 0 || spot <= 0 {
+		return false, 0
+	}
+	switch s {
+	case Aggressive:
+		if spot < onDemand {
+			return true, spot * aggressiveBidFactor
+		}
+	case Balanced:
+		if spot < onDemand*balancedDiscount {
+			return true, onDemand
+		}
+	case Conservative:
+		if spot < onDemand*conservativeDiscount {
+			return true, onDemand * conservativeBid
+		}
+	}
+	return false, 0
+}

@@ -95,6 +95,12 @@ type Instance struct {
 	// ReadyAt is when the instance becomes usable: LaunchedAt plus any
 	// injected provisioning delay (see FaultPlan.LaunchDelayMaxSec).
 	ReadyAt float64
+	// Spot marks a spot-market instance; BidPerHour is the bid it was
+	// launched under. The provider revokes the instance the moment the
+	// market price crosses strictly above the bid, and bills it at the
+	// time-varying spot price instead of the on-demand rate.
+	Spot       bool
+	BidPerHour float64
 }
 
 // Clock supplies the provider's notion of time in seconds. Simulations pass
@@ -122,6 +128,7 @@ type Provider struct {
 	limits    map[string]int // optional per-type capacity limits
 	running   map[string]int // running count per type
 	fault     *faultState    // optional fault injection (see faults.go)
+	market    *Market        // optional spot market (see market.go)
 	watchers  map[int]chan InstanceEvent
 	nextWatch int
 	jrnl      *journal.Journal // optional flight recorder (see faults.go)
@@ -154,10 +161,43 @@ func (p *Provider) SetCapacityLimit(typeName string, limit int) {
 	p.limits[typeName] = limit
 }
 
-// Launch provisions count instances of the named type, applying the given
-// tags to each, and returns them in running state. It is atomic: on any
-// error no instances are created.
+// SetMarket attaches (or, with nil, detaches) a spot market. With a
+// market attached, LaunchSpot provisions instances at the time-varying
+// spot price and schedules their revocation at the first price crossing
+// above the bid.
+func (p *Provider) SetMarket(m *Market) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.market = m
+}
+
+// Market returns the attached spot market, if any.
+func (p *Provider) Market() *Market {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.market
+}
+
+// Launch provisions count instances of the named type at the on-demand
+// price, applying the given tags to each, and returns them in running
+// state. It is atomic: on any error no instances are created.
 func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([]*Instance, error) {
+	return p.launch(typeName, count, tags, false, 0)
+}
+
+// LaunchSpot provisions count spot instances of the named type under
+// the given bid. It fails with ErrSpotUnavailable when the current
+// market price is above the bid, and requires an attached market with a
+// trace for the type. Launched instances are revoked (spot-preempted)
+// at the first future price crossing strictly above the bid.
+func (p *Provider) LaunchSpot(typeName string, count int, bidPerHour float64, tags map[string]string) ([]*Instance, error) {
+	if bidPerHour <= 0 {
+		return nil, fmt.Errorf("cloud: spot bid %.4f must be positive", bidPerHour)
+	}
+	return p.launch(typeName, count, tags, true, bidPerHour)
+}
+
+func (p *Provider) launch(typeName string, count int, tags map[string]string, spot bool, bid float64) ([]*Instance, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("cloud: launch count %d must be positive", count)
 	}
@@ -169,6 +209,22 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 	defer p.mu.Unlock()
 	now := p.clock()
 	p.applyDueLocked(now)
+	if spot {
+		// Market admission happens before the fault draws so a spot
+		// rejection never consumes RNG state and shifts the deterministic
+		// fault schedule of subsequent launches.
+		if p.market == nil {
+			return nil, fmt.Errorf("cloud: spot launch of %s without an attached market", typeName)
+		}
+		price, ok := p.market.SpotPrice(typeName, now)
+		if !ok {
+			return nil, fmt.Errorf("cloud: no spot trace for instance type %s", typeName)
+		}
+		if price > bid {
+			obs.Debugf("cloud: spot denied: %s at %.4f/h above bid %.4f/h", typeName, price, bid)
+			return nil, fmt.Errorf("%w: %s at $%.4f/h, bid $%.4f/h", ErrSpotUnavailable, typeName, price, bid)
+		}
+	}
 	delay := 0.0
 	if p.fault != nil {
 		var ferr error
@@ -198,11 +254,26 @@ func (p *Provider) Launch(typeName string, count int, tags map[string]string) ([
 			State:      StateRunning,
 			LaunchedAt: now,
 			ReadyAt:    now + delay,
+			Spot:       spot,
+			BidPerHour: bid,
 		}
 		p.instances[inst.ID] = inst
 		if p.fault != nil {
 			if at, ok := p.fault.onInstance(now); ok {
 				p.fault.preemptAt[inst.ID] = at
+			}
+		}
+		if spot {
+			// Revocation at the first price crossing above the bid: the
+			// earlier of the market crossing and any fault-injected
+			// revocation wins. The crossing rides the same preemptAt
+			// machinery as FaultPlan, so recovery, snapshots, and the
+			// NextPreemption oracle all see it without special cases.
+			if at, ok := p.market.FirstCrossAbove(typeName, bid, now); ok {
+				f := p.ensureFaultLocked()
+				if cur, scheduled := f.preemptAt[inst.ID]; !scheduled || at < cur {
+					f.preemptAt[inst.ID] = at
+				}
 			}
 		}
 		p.emitLocked(EventLaunched, inst, now)
@@ -314,13 +385,24 @@ func (p *Provider) Bill() float64 {
 		if inst.State == StateTerminated || inst.State == StateFailed {
 			end = inst.TerminatedAt
 		}
-		dur := end - inst.LaunchedAt
-		if dur < 0 {
-			dur = 0
-		}
-		total += dur / 3600 * inst.Type.PricePerHour
+		total += p.instanceCostLocked(inst, end)
 	}
 	return total
+}
+
+// instanceCostLocked is the USD cost of one instance from launch to
+// end: the spot-price integral for spot instances, per-second on-demand
+// billing otherwise. Callers hold p.mu.
+func (p *Provider) instanceCostLocked(inst *Instance, end float64) float64 {
+	if end < inst.LaunchedAt {
+		return 0
+	}
+	if inst.Spot && p.market != nil {
+		if c, ok := p.market.SpotCost(inst.Type.Name, inst.LaunchedAt, end); ok {
+			return c
+		}
+	}
+	return (end - inst.LaunchedAt) / 3600 * inst.Type.PricePerHour
 }
 
 // Catalog returns the provider's instance-type catalog.

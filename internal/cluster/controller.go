@@ -86,6 +86,9 @@ type Job struct {
 	// un-checkpointed work redone across them.
 	Recoveries     int
 	LostIterations int
+	// ElasticScales counts mid-training cluster rebuilds driven by
+	// spot-price moves (not by failures).
+	ElasticScales int
 
 	seq  int           // submission order, for deterministic Jobs() listing
 	done chan struct{} // closed when the pipeline reaches a terminal state
@@ -143,6 +146,10 @@ type Controller struct {
 	// the world there and reports scheduled master kills; nil runs the
 	// pipeline without crash durability, as before.
 	Durability Checkpointer
+	// Elastic wires a spot market into the controller and enables
+	// mid-training re-planning at price change-points (see elastic.go).
+	// The zero value keeps the controller static.
+	Elastic ElasticConfig
 	// segSnaps holds each in-flight job's segment state as published at
 	// its last durability barrier (see Controller.barrier). Guarded by mu.
 	segSnaps map[string]SegmentState
@@ -323,11 +330,19 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 		return c.failJob(&runState{job: job, handled: map[string]bool{}}, err)
 	}
 	mark("profile")
+	// With a spot market attached, plan against the effective catalog
+	// (spot-priced where the bidding strategy takes the market); static
+	// controllers plan on the provider catalog as before.
+	evalAt := c.provider.Now()
+	cat, choices, err := c.planningCatalog()
+	if err != nil {
+		return c.failJob(&runState{job: job, handled: map[string]bool{}}, err)
+	}
 	req := plan.Request{
 		Profile:   prof,
 		Goal:      goal,
 		Predictor: c.predictor,
-		Catalog:   c.provider.Catalog(),
+		Catalog:   cat,
 		Journal:   jb,
 	}
 	// One exhaustive search produces both the chosen plan and the ranked
@@ -337,7 +352,16 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 	if err != nil {
 		return c.failJob(&runState{job: job, handled: map[string]bool{}}, err)
 	}
-	jb.Emit(journal.PlanChosen,
+	st := &runState{
+		job: job, w: w, goal: goal, prof: prof,
+		plan: res.Plan, ranked: res.Ranked,
+		rc:          c.Recovery.withDefaults(res.Plan.Iterations),
+		totalIters:  res.Plan.Iterations,
+		handled:     make(map[string]bool),
+		lastEvalSec: evalAt,
+	}
+	st.adoptChoice(choices, res.Plan.Type.Name)
+	chosenFields := []journal.Field{
 		journal.F("type", res.Plan.Type.Name),
 		journal.Fint("workers", res.Plan.Workers),
 		journal.Fint("ps", res.Plan.PS),
@@ -346,14 +370,16 @@ func (c *Controller) runJob(job *Job) (*Job, error) {
 		journal.Ffloat("cost_usd", res.Plan.Cost),
 		journal.Fbool("feasible", res.Plan.Feasible),
 		journal.Fint("enumerated", res.Stats.Enumerated),
-		journal.Fint("pruned", res.Stats.Pruned))
-	st := &runState{
-		job: job, w: w, goal: goal, prof: prof,
-		plan: res.Plan, ranked: res.Ranked,
-		rc:         c.Recovery.withDefaults(res.Plan.Iterations),
-		totalIters: res.Plan.Iterations,
-		handled:    make(map[string]bool),
+		journal.Fint("pruned", res.Stats.Pruned),
 	}
+	if st.market == MarketSpot {
+		// Spot-only fields, appended so static runs keep their exact
+		// historical event encoding.
+		chosenFields = append(chosenFields,
+			journal.Fbool("spot", true),
+			journal.Ffloat("bid_per_hour", st.bid))
+	}
+	jb.Emit(journal.PlanChosen, chosenFields...)
 	c.mu.Lock()
 	job.Plan = st.plan
 	c.mu.Unlock()
@@ -450,7 +476,7 @@ func (c *Controller) finishJob(st *runState) (*Job, error) {
 // and schedules one pod per docker. The slowest instance's readiness
 // delay is charged against the deadline and the bill.
 func (c *Controller) provision(st *runState) error {
-	insts, _, err := c.launchWithFallback(st.job, st.ranked, &st.plan, st.rc)
+	insts, _, err := c.launchWithFallback(st)
 	if err != nil {
 		return err
 	}
@@ -503,22 +529,28 @@ func (c *Controller) teardown(job *Job) {
 	}
 }
 
-// launchWithFallback tries the chosen plan first and then, on capacity
-// errors (or transient errors that survived the retry budget), every
-// remaining feasible candidate from the ranked stream the original
-// search already produced (no re-search). On success it updates *chosen
-// to the plan that launched and returns the instances.
-func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *plan.Plan, rc RecoveryConfig) ([]*cloud.Instance, int, error) {
-	try := func(p plan.Plan) ([]*cloud.Instance, int, error) {
+// launchWithFallback tries the chosen plan first — on the spot market
+// when the run state says so — and then, on capacity errors (transient
+// errors that survived the retry budget, or a spot price above the
+// bid), every remaining feasible candidate from the ranked stream the
+// original search already produced (no re-search). Fallback candidates
+// launch on-demand at base-catalog prices: spot trouble must never
+// cascade into more spot trouble. On success the run state holds the
+// plan (and market) that actually launched.
+func (c *Controller) launchWithFallback(st *runState) ([]*cloud.Instance, int, error) {
+	job := st.job
+	try := func(p plan.Plan, spot bool, bid float64) ([]*cloud.Instance, int, error) {
 		dockers := p.Workers + p.PS
 		n := (dockers + c.CoresPerInstance - 1) / c.CoresPerInstance
-		insts, err := c.launchRetry(job, p.Type.Name, n, rc)
+		insts, err := c.launchRetry(job, p.Type.Name, n, st.rc, spot, bid)
 		return insts, n, err
 	}
 	fallbackable := func(err error) bool {
-		return errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrTransient)
+		return errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrTransient) ||
+			errors.Is(err, cloud.ErrSpotUnavailable)
 	}
-	insts, n, err := try(*chosen)
+	triedSpot := st.market == MarketSpot
+	insts, n, err := try(st.plan, triedSpot, st.bid)
 	if err == nil {
 		return insts, n, nil
 	}
@@ -527,17 +559,23 @@ func (c *Controller) launchWithFallback(job *Job, ranked []plan.Plan, chosen *pl
 	}
 	c.master.log.record("CapacityFallback", "job/"+job.ID, "%v; trying alternatives", err)
 	c.jbind(job).Emit(journal.CapacityFallback,
-		journal.F("type", chosen.Type.Name), journal.F("error", err.Error()))
-	for _, cand := range ranked {
+		journal.F("type", st.plan.Type.Name), journal.F("error", err.Error()))
+	for _, cand := range st.ranked {
 		if !cand.Feasible {
 			break // sorted feasible-first; nothing usable remains
 		}
-		if cand.Type.Name == chosen.Type.Name && cand.Workers == chosen.Workers && cand.PS == chosen.PS {
-			continue // already tried
+		if !triedSpot && cand.Type.Name == st.plan.Type.Name && cand.Workers == st.plan.Workers && cand.PS == st.plan.PS {
+			continue // already tried this exact launch
 		}
-		insts, n, lerr := try(cand)
+		// Fallbacks are on-demand: reprice the candidate from the base
+		// catalog so cost accounting matches what will be billed.
+		if bt, lerr := c.provider.Catalog().Lookup(cand.Type.Name); lerr == nil {
+			cand.Type = bt
+		}
+		insts, n, lerr := try(cand, false, 0)
 		if lerr == nil {
-			*chosen = cand
+			st.plan = cand
+			st.market, st.bid = "", 0
 			c.mu.Lock()
 			job.Plan = cand
 			c.mu.Unlock()

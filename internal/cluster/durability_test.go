@@ -46,7 +46,7 @@ type crashAt struct {
 func (k *crashAt) Barrier(jobID string, phase Phase) error {
 	k.count++
 	k.phases = append(k.phases, phase)
-	if phase != PhaseRecoveryMid {
+	if phase != PhaseRecoveryMid && phase != PhaseElastic {
 		k.snap = worldExport{k.ctl.ExportState(), k.master.ExportState(), k.provider.ExportState()}
 	}
 	if k.killAt > 0 && k.count == k.killAt {

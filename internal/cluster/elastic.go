@@ -1,0 +1,295 @@
+package cluster
+
+// elastic.go is the continuous optimizer: with a spot market attached,
+// the controller re-evaluates the provisioning decision at price-trace
+// change-points — not just on failure — and grows, shrinks, or re-homes
+// the worker set mid-training when a different plan beats the current
+// one against the residual deadline budget Tg' = Tg − elapsed.
+//
+// Determinism and crash-safety rest on two properties. First, every
+// decision input is a stateless function of (trace, provider clock):
+// nothing about market position lives outside the traces, so a
+// restarted master at the same clock instant re-derives the same
+// decision. Second, the elastic.replan decision is separated from the
+// scale action by the kill-check-only PhaseElastic barrier; a kill
+// there resumes from the preceding PhaseSegment snapshot, re-derives
+// the identical decision, and executes the scale exactly once.
+
+import (
+	"context"
+	"fmt"
+
+	"cynthia/internal/cloud"
+	"cynthia/internal/cloud/pricing"
+	"cynthia/internal/obs/journal"
+	"cynthia/internal/plan"
+)
+
+// MarketSpot marks a cluster provisioned on the spot market (the empty
+// string is on-demand).
+const MarketSpot = "spot"
+
+// Elastic defaults: the simulated cost of one price-driven cluster
+// rebuild (checkpoint + re-launch, cheaper than a failure recovery
+// because nothing was lost), and the minimum relative cost gain that
+// justifies paying it.
+const (
+	DefaultScaleOverheadSec = 15.0
+	DefaultMinGainFrac      = 0.05
+)
+
+// ElasticConfig wires the controller to a spot market and enables
+// mid-training re-planning at price-trace change-points.
+type ElasticConfig struct {
+	// Enabled turns the continuous optimizer on (a nil Market keeps it
+	// off regardless).
+	Enabled bool
+	// Market prices spot instances; it must be attached to the same
+	// provider the controller launches through.
+	Market *cloud.Market
+	// Strategy is the bidding posture (default pricing.Balanced).
+	Strategy pricing.Strategy
+	// ScaleOverheadSec is charged per elastic rebuild (default 15s).
+	ScaleOverheadSec float64
+	// MinGainFrac is the minimum relative cost improvement a candidate
+	// plan must show before a rebuild is worth its overhead (default 5%).
+	MinGainFrac float64
+}
+
+func (c *Controller) elasticOn() bool {
+	return c.Elastic.Enabled && c.Elastic.Market != nil
+}
+
+func (c *Controller) elasticStrategy() pricing.Strategy {
+	if c.Elastic.Strategy == "" {
+		return pricing.Balanced
+	}
+	return c.Elastic.Strategy
+}
+
+func (c *Controller) scaleOverhead() float64 {
+	if c.Elastic.ScaleOverheadSec > 0 {
+		return c.Elastic.ScaleOverheadSec
+	}
+	return DefaultScaleOverheadSec
+}
+
+func (c *Controller) minGainFrac() float64 {
+	if c.Elastic.MinGainFrac > 0 {
+		return c.Elastic.MinGainFrac
+	}
+	return DefaultMinGainFrac
+}
+
+// marketChoice records how the planning catalog priced one instance
+// type: on the spot market under a bid, or on-demand.
+type marketChoice struct {
+	spot  bool
+	bid   float64
+	price float64 // spot price at decision time
+}
+
+// planningCatalog builds the catalog a plan search should run against.
+// Static controllers plan on the provider's catalog unchanged. Elastic
+// controllers plan on an effective clone where every type the bidding
+// strategy takes to the spot market carries its current spot price, so
+// Algorithm 1's cheapest-feasible choice weighs spot discounts exactly
+// like any other price — and the returned choices say how to launch
+// whatever type the search picks.
+func (c *Controller) planningCatalog() (*cloud.Catalog, map[string]marketChoice, error) {
+	base := c.provider.Catalog()
+	if !c.elasticOn() {
+		return base, nil, nil
+	}
+	m := c.Elastic.Market
+	now := c.provider.Now()
+	m.AdvanceTo(now) // push current prices into the catalog spot map: epoch bump -> plan caches drop stale entries
+	strat := c.elasticStrategy()
+	types := base.Types()
+	eff := make([]cloud.InstanceType, 0, len(types))
+	choices := make(map[string]marketChoice, len(types))
+	for _, t := range types {
+		if spotPrice, ok := m.SpotPrice(t.Name, now); ok {
+			if useSpot, bid := strat.Decide(t.PricePerHour, spotPrice); useSpot {
+				choices[t.Name] = marketChoice{spot: true, bid: bid, price: spotPrice}
+				t.PricePerHour = spotPrice
+			}
+		}
+		eff = append(eff, t)
+	}
+	cat, err := cloud.NewCatalog(eff...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: building effective spot catalog: %w", err)
+	}
+	return cat, choices, nil
+}
+
+// adoptChoice applies a search result's market choice to the run state:
+// spot market and bid if the chosen type was spot-priced, on-demand
+// otherwise.
+func (st *runState) adoptChoice(choices map[string]marketChoice, typeName string) {
+	if ch, ok := choices[typeName]; ok && ch.spot {
+		st.market, st.bid = MarketSpot, ch.bid
+		return
+	}
+	st.market, st.bid = "", 0
+}
+
+// repriceCurrent refreshes the run state's plan price to the current
+// market: a spot cluster's effective hourly price follows the trace, so
+// cost accounting and the keep-vs-rebuild comparison both use the price
+// actually being paid now.
+func (c *Controller) repriceCurrent(st *runState) {
+	if st.market != MarketSpot {
+		return
+	}
+	if p, ok := c.Elastic.Market.SpotPrice(st.plan.Type.Name, c.provider.Now()); ok {
+		st.plan.Type.PricePerHour = p
+	}
+}
+
+// elasticSegIters bounds the next training segment so it ends at the
+// next price change-point: the segment loop then re-enters elasticStep
+// with fresh prices. Returns remaining unchanged when no change is
+// ahead or the controller is static.
+func (c *Controller) elasticSegIters(st *runState, remaining int) int {
+	if !c.elasticOn() || remaining <= 0 {
+		return remaining
+	}
+	next, ok := c.Elastic.Market.NextChange(c.provider.Now())
+	if !ok {
+		return remaining
+	}
+	perIter := st.plan.PredTime / float64(st.plan.Iterations)
+	if perIter <= 0 {
+		return remaining
+	}
+	n := int((next - c.provider.Now()) / perIter)
+	if n < 1 {
+		n = 1 // always make progress, even through a dense change cluster
+	}
+	if n < remaining {
+		return n
+	}
+	return remaining
+}
+
+// elasticStep is the continuous optimizer's tick, run at the top of
+// every training segment. If no price changed since the last
+// evaluation, it does nothing — on a flat trace the controller is
+// bit-identical to the static one. Otherwise it re-runs the plan search
+// against the residual deadline budget and rebuilds the cluster when a
+// candidate plan is enough cheaper (and still inside the budget with
+// headroom) to pay for the rebuild.
+func (c *Controller) elasticStep(st *runState) error {
+	if !c.elasticOn() || st.done >= st.totalIters {
+		return nil
+	}
+	now := c.provider.Now()
+	m := c.Elastic.Market
+	if !m.HasChangeIn(st.lastEvalSec, now) {
+		return nil
+	}
+	m.AdvanceTo(now)
+	st.lastEvalSec = now
+	c.repriceCurrent(st)
+	remaining := st.totalIters - st.done
+	budget := st.goal.TimeSec - st.elapsed
+	if budget <= 0 {
+		return nil // past the deadline already; nothing to optimize for
+	}
+	cat, choices, err := c.planningCatalog()
+	if err != nil {
+		return nil // planning-catalog trouble never kills a running job
+	}
+	scaled := budget * float64(st.totalIters) / float64(remaining)
+	res, err := plan.SearchWith(context.Background(), c.provisioner, plan.Request{
+		Profile:   st.prof,
+		Goal:      plan.Goal{TimeSec: scaled, LossTarget: st.goal.LossTarget},
+		Predictor: c.predictor,
+		Catalog:   cat,
+		Journal:   c.jbind(st.job),
+	})
+	if err != nil || !res.Plan.Feasible {
+		return nil
+	}
+	p := res.Plan
+	candSpot := choices[p.Type.Name].spot
+	sameShape := p.Type.Name == st.plan.Type.Name && p.Workers == st.plan.Workers && p.PS == st.plan.PS
+	if sameShape && candSpot == (st.market == MarketSpot) {
+		return nil // already running the best plan on the best market
+	}
+	// Keep-vs-rebuild: compare the cost of finishing on the current
+	// cluster at today's price against the candidate plus the rebuild
+	// overhead, and require the candidate to both clear the minimum gain
+	// and still fit the remaining budget with the planner's headroom.
+	overhead := c.scaleOverhead()
+	curSec := st.plan.PredTime * float64(remaining) / float64(st.plan.Iterations)
+	curCost := plan.Cost(st.plan.Type, st.plan.Workers, st.plan.PS, curSec)
+	candSec := p.PredTime * float64(remaining) / float64(p.Iterations)
+	candCost := plan.Cost(p.Type, p.Workers, p.PS, candSec+overhead)
+	if candCost >= curCost*(1-c.minGainFrac()) {
+		return nil
+	}
+	if candSec+overhead > budget*(1-plan.DefaultHeadroom) {
+		return nil
+	}
+	ch := choices[p.Type.Name]
+	market := ""
+	if ch.spot {
+		market = MarketSpot
+	}
+	c.jbind(st.job).Emit(journal.ElasticReplan,
+		journal.Ffloat("budget_sec", budget),
+		journal.F("type", p.Type.Name),
+		journal.Fint("workers", p.Workers),
+		journal.Fint("ps", p.PS),
+		journal.F("market", market),
+		journal.Ffloat("price_per_hour", p.Type.PricePerHour),
+		journal.Ffloat("cur_cost_usd", curCost),
+		journal.Ffloat("new_cost_usd", candCost))
+	// Kill-check-only barrier between decision and action: see the
+	// PhaseElastic doc comment for why a kill here cannot double-launch.
+	if err := c.barrier(st, PhaseElastic); err != nil {
+		return err
+	}
+	return c.elasticScale(st, p, res.Ranked, ch, overhead)
+}
+
+// elasticScale executes an elastic re-plan: tear the old cluster down,
+// adopt the new plan and market, charge the rebuild overhead, and
+// provision. Failure to provision fails the job the same way a
+// post-recovery re-provision would.
+func (c *Controller) elasticScale(st *runState, p plan.Plan, ranked []plan.Plan, ch marketChoice, overhead float64) error {
+	job := st.job
+	from := fmt.Sprintf("%dx %s + %d PS", st.plan.Workers, st.plan.Type.Name, st.plan.PS)
+	c.teardown(job)
+	st.plan, st.ranked = p, ranked
+	if ch.spot {
+		st.market, st.bid = MarketSpot, ch.bid
+	} else {
+		st.market, st.bid = "", 0
+	}
+	c.mu.Lock()
+	job.Plan = p
+	c.mu.Unlock()
+	c.chargeTime(st, overhead)
+	st.burnRec += overhead
+	if err := c.provision(st); err != nil {
+		return fmt.Errorf("cluster: re-provisioning after elastic re-plan: %w", err)
+	}
+	st.scales++
+	c.mu.Lock()
+	job.ElasticScales = st.scales
+	c.mu.Unlock()
+	c.master.log.record("ElasticScale", "job/"+job.ID, "%s -> %s", from, st.plan)
+	c.jbind(job).Emit(journal.ElasticScale,
+		journal.F("from", from),
+		journal.F("type", st.plan.Type.Name),
+		journal.Fint("workers", st.plan.Workers),
+		journal.Fint("ps", st.plan.PS),
+		journal.F("market", st.market),
+		journal.Ffloat("overhead_sec", overhead),
+		journal.Fint("scales", st.scales))
+	return nil
+}

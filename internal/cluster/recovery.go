@@ -143,6 +143,16 @@ type runState struct {
 	phase          Phase
 	pendingPreempt string
 	segLost        int
+	// Elastic (spot-market) state: which market the current cluster is
+	// provisioned on (MarketSpot or "" for on-demand), the standing bid,
+	// the provider-clock time prices were last evaluated at, how many
+	// price-driven segment splits this run has made (perturbs the
+	// per-segment sim seed), and how many elastic rebuilds executed.
+	market      string
+	bid         float64
+	lastEvalSec float64
+	elasticSegs int
+	scales      int
 }
 
 // chargeTime bills a simulated duration against the job: the deadline
@@ -160,13 +170,20 @@ func (c *Controller) chargeTime(st *runState, dt float64) {
 // launchRetry launches instances, retrying transient errors with capped
 // exponential backoff. Capacity errors are returned immediately — they
 // are a standing limit, not a blip, and the caller's ranked-candidate
-// fallback handles them.
-func (c *Controller) launchRetry(job *Job, typeName string, n int, rc RecoveryConfig) ([]*cloud.Instance, error) {
+// fallback handles them. Spot launches (spot true) bid bidPerHour on
+// the market; a price above the bid (cloud.ErrSpotUnavailable) is not
+// transient either and also returns immediately.
+func (c *Controller) launchRetry(job *Job, typeName string, n int, rc RecoveryConfig, spot bool, bidPerHour float64) ([]*cloud.Instance, error) {
 	delay := rc.RetryBase
 	var err error
 	for attempt := 0; ; attempt++ {
 		var insts []*cloud.Instance
-		insts, err = c.provider.Launch(typeName, n, map[string]string{"job": job.ID, "trace": job.TraceID})
+		tags := map[string]string{"job": job.ID, "trace": job.TraceID}
+		if spot {
+			insts, err = c.provider.LaunchSpot(typeName, n, bidPerHour, tags)
+		} else {
+			insts, err = c.provider.Launch(typeName, n, tags)
+		}
 		if err == nil {
 			return insts, nil
 		}
@@ -198,7 +215,17 @@ func (c *Controller) runSegments(st *runState) error {
 		if err := c.barrier(st, PhaseSegment); err != nil {
 			return err
 		}
+		// Continuous optimizer tick: at a price change-point the elastic
+		// controller may re-plan and rebuild the cluster here. On a flat
+		// trace (or a static controller) this is a no-op.
+		if err := c.elasticStep(st); err != nil {
+			return err
+		}
 		remaining := st.totalIters - st.done
+		// An elastic run bounds the segment at the next price change-point
+		// so the optimizer sees fresh prices; a static run (or one with no
+		// change ahead) trains the whole remainder in one segment.
+		segIters := c.elasticSegIters(st, remaining)
 		segBase := c.provider.Now()
 		jb.Emit(journal.SegmentStart,
 			journal.Fint("segment", st.recoveries),
@@ -208,10 +235,10 @@ func (c *Controller) runSegments(st *runState) error {
 			journal.Fint("workers", st.plan.Workers),
 			journal.Fint("ps", st.plan.PS))
 		opts := ddnnsim.Options{
-			Iterations:      remaining,
-			Seed:            c.SimSeed + int64(st.recoveries),
+			Iterations:      segIters,
+			Seed:            c.SimSeed + int64(st.recoveries) + 1000003*int64(st.elasticSegs),
 			StartIteration:  st.done,
-			LossEvery:       max(remaining/100, 1),
+			LossEvery:       max(segIters/100, 1),
 			CheckpointEvery: st.rc.CheckpointEvery,
 			Journal:         jb.WithSource("ddnnsim"),
 			JournalBaseSec:  segBase,
@@ -248,7 +275,13 @@ func (c *Controller) runSegments(st *runState) error {
 		if !sim.Interrupted {
 			st.done += sim.Iterations
 			st.pendingPreempt = ""
-			return nil
+			if st.done >= st.totalIters {
+				return nil
+			}
+			// Price-bounded segment finished clean: loop back through the
+			// barrier and the optimizer tick with fresh prices.
+			st.elasticSegs++
+			continue
 		}
 		st.done += sim.CheckpointIter
 		st.lost += sim.LostIterations
@@ -337,6 +370,17 @@ func (c *Controller) recoverJob(st *runState) error {
 		return err
 	}
 
+	// An elastic run refreshes spot prices before judging the surviving
+	// plan: recovery may land at a different price than the segment
+	// started at, and both the deadline check and any re-plan should see
+	// the market as it is now.
+	if c.elasticOn() {
+		now := c.provider.Now()
+		c.Elastic.Market.AdvanceTo(now)
+		st.lastEvalSec = now
+		c.repriceCurrent(st)
+	}
+
 	// Deadline check: if the surviving plan's predicted time for the
 	// remaining iterations exceeds the remaining budget Tg' = Tg −
 	// elapsed, run Algorithm 1 again against Tg' and rebuild the cluster
@@ -384,11 +428,15 @@ func (c *Controller) replan(st *runState, remaining int, budget float64) (bool, 
 	// remaining budget to its full-run equivalent so that "feasible"
 	// means exactly "remaining iterations fit in budget seconds".
 	scaled := budget * float64(st.totalIters) / float64(remaining)
+	cat, choices, cerr := c.planningCatalog()
+	if cerr != nil {
+		return false, cerr
+	}
 	req := plan.Request{
 		Profile:   st.prof,
 		Goal:      plan.Goal{TimeSec: scaled, LossTarget: st.goal.LossTarget},
 		Predictor: c.predictor,
-		Catalog:   c.provider.Catalog(),
+		Catalog:   cat,
 		Journal:   c.jbind(job),
 	}
 	res, err := plan.SearchWith(context.Background(), c.provisioner, req)
@@ -399,19 +447,28 @@ func (c *Controller) replan(st *runState, remaining int, budget float64) (bool, 
 		return false, nil
 	}
 	p := res.Plan
-	if p.Type.Name == st.plan.Type.Name && p.Workers == st.plan.Workers && p.PS == st.plan.PS {
-		return false, nil // same shape: just replace the dead instances
+	if p.Type.Name == st.plan.Type.Name && p.Workers == st.plan.Workers && p.PS == st.plan.PS &&
+		choices[p.Type.Name].spot == (st.market == MarketSpot) {
+		return false, nil // same shape on the same market: just replace the dead instances
 	}
 	c.master.log.record("JobReplanned", "job/"+job.ID, "Tg' = %.0fs remaining: %s", budget, p)
-	c.jbind(job).Emit(journal.RecoveryReplan,
+	replanFields := []journal.Field{
 		journal.Ffloat("budget_sec", budget),
 		journal.F("type", p.Type.Name),
 		journal.Fint("workers", p.Workers),
 		journal.Fint("ps", p.PS),
 		journal.Ffloat("pred_sec", p.PredTime),
-		journal.Ffloat("cost_usd", p.Cost))
+		journal.Ffloat("cost_usd", p.Cost),
+	}
+	if ch := choices[p.Type.Name]; ch.spot {
+		replanFields = append(replanFields,
+			journal.Fbool("spot", true),
+			journal.Ffloat("bid_per_hour", ch.bid))
+	}
+	c.jbind(job).Emit(journal.RecoveryReplan, replanFields...)
 	c.teardown(job)
 	st.plan, st.ranked = p, res.Ranked
+	st.adoptChoice(choices, p.Type.Name)
 	// totalIters is pinned to the original loss-target budget; the new
 	// plan only changes the cluster shape, not how much work remains.
 	c.mu.Lock()
@@ -430,9 +487,11 @@ func (c *Controller) replan(st *runState, remaining int, budget float64) (bool, 
 // fallback instead.
 func (c *Controller) replace(st *runState, failed []cloud.Instance) error {
 	job := st.job
-	insts, err := c.launchRetry(job, st.plan.Type.Name, len(failed), st.rc)
+	insts, err := c.launchRetry(job, st.plan.Type.Name, len(failed), st.rc,
+		st.market == MarketSpot, st.bid)
 	if err != nil {
-		if errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrTransient) {
+		if errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrTransient) ||
+			errors.Is(err, cloud.ErrSpotUnavailable) {
 			c.master.log.record("CapacityFallback", "job/"+job.ID,
 				"replacement launch failed: %v; rebuilding cluster", err)
 			c.jbind(job).Emit(journal.CapacityFallback,

@@ -277,7 +277,7 @@ func (m *Manager) Rebuild() (resume, queued []string, err error) {
 // own barrier already durable.
 func (m *Manager) Barrier(jobID string, phase cluster.Phase) error {
 	switch phase {
-	case cluster.PhaseRecoveryMid:
+	case cluster.PhaseRecoveryMid, cluster.PhaseElastic:
 		// kill-check only
 	case cluster.PhaseAdmit, cluster.PhaseDone:
 		if err := m.SnapshotNow(); err != nil {

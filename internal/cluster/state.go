@@ -48,6 +48,14 @@ const (
 	// snapshotted: a kill here resumes from PhaseRecovery and re-executes
 	// the whole cycle.
 	PhaseRecoveryMid Phase = "recovery-mid"
+	// PhaseElastic is a kill-check-only barrier between an elastic
+	// re-plan decision (elastic.replan journaled) and the scale action.
+	// It is never snapshotted: a kill here resumes from the preceding
+	// PhaseSegment barrier, whose state predates the decision, and the
+	// decision re-derives identically from the stateless price traces at
+	// the same provider-clock instant — so the scale executes exactly
+	// once (no double-launch, no stranded instances).
+	PhaseElastic Phase = "elastic"
 	// PhaseFinal: training completed; the terminal bookkeeping has not
 	// run. Resume finalizes directly.
 	PhaseFinal Phase = "final"
@@ -82,6 +90,7 @@ type JobState struct {
 	Err            string          `json:"err,omitempty"`
 	Recoveries     int             `json:"recoveries"`
 	LostIterations int             `json:"lost_iterations"`
+	ElasticScales  int             `json:"elastic_scales,omitempty"`
 	Seq            int             `json:"seq"`
 }
 
@@ -109,6 +118,13 @@ type SegmentState struct {
 	BurnProv       float64     `json:"burn_prov"`
 	BurnTrain      float64     `json:"burn_train"`
 	BurnRec        float64     `json:"burn_rec"`
+	// Elastic (spot-market) state; all omitempty so static runs keep
+	// their exact historical snapshot encoding.
+	Market      string  `json:"market,omitempty"`
+	BidPerHour  float64 `json:"bid_per_hour,omitempty"`
+	LastEvalSec float64 `json:"last_eval_sec,omitempty"`
+	ElasticSegs int     `json:"elastic_segs,omitempty"`
+	Scales      int     `json:"elastic_scales,omitempty"`
 }
 
 // ControllerState is the serializable world of a Controller: the job
@@ -162,6 +178,11 @@ func (st *runState) toSegmentState() SegmentState {
 		BurnProv:       st.burnProv,
 		BurnTrain:      st.burnTrain,
 		BurnRec:        st.burnRec,
+		Market:         st.market,
+		BidPerHour:     st.bid,
+		LastEvalSec:    st.lastEvalSec,
+		ElasticSegs:    st.elasticSegs,
+		Scales:         st.scales,
 	}
 	for id := range st.handled {
 		ss.Handled = append(ss.Handled, id)
@@ -184,7 +205,7 @@ func (c *Controller) ExportState() ControllerState {
 			Status: j.Status, History: append([]JobStatus(nil), j.History...),
 			Plan: j.Plan, TrainingTime: j.TrainingTime, FinalLoss: j.FinalLoss,
 			Cost: j.Cost, Err: j.Err, Recoveries: j.Recoveries,
-			LostIterations: j.LostIterations, Seq: j.seq,
+			LostIterations: j.LostIterations, ElasticScales: j.ElasticScales, Seq: j.seq,
 		})
 	}
 	sort.Slice(cs.Jobs, func(i, j int) bool { return cs.Jobs[i].Seq < cs.Jobs[j].Seq })
@@ -210,7 +231,7 @@ func (c *Controller) RestoreState(cs ControllerState) {
 			Status: js.Status, History: append([]JobStatus(nil), js.History...),
 			Plan: js.Plan, TrainingTime: js.TrainingTime, FinalLoss: js.FinalLoss,
 			Cost: js.Cost, Err: js.Err, Recoveries: js.Recoveries,
-			LostIterations: js.LostIterations,
+			LostIterations: js.LostIterations, ElasticScales: js.ElasticScales,
 			seq:            js.Seq, done: make(chan struct{}),
 		}
 		if terminal(job.Status) {
@@ -336,7 +357,9 @@ func (c *Controller) restoreRunState(job *Job, ss SegmentState) (*runState, erro
 		elapsed: ss.Elapsed, cost: ss.Cost, finalLoss: ss.FinalLoss,
 		recoveries: ss.Recoveries, handled: make(map[string]bool, len(ss.Handled)),
 		burnProv: ss.BurnProv, burnTrain: ss.BurnTrain, burnRec: ss.BurnRec,
-		phase: ss.Phase,
+		phase:  ss.Phase,
+		market: ss.Market, bid: ss.BidPerHour, lastEvalSec: ss.LastEvalSec,
+		elasticSegs: ss.ElasticSegs, scales: ss.Scales,
 	}
 	for _, id := range ss.Handled {
 		st.handled[id] = true
@@ -351,7 +374,7 @@ func (c *Controller) restoreRunState(job *Job, ss SegmentState) (*runState, erro
 // gone regardless of who is watching).
 func (c *Controller) barrier(st *runState, phase Phase) error {
 	st.phase = phase
-	if phase != PhaseRecoveryMid { // mid-recovery is kill-check only
+	if phase != PhaseRecoveryMid && phase != PhaseElastic { // kill-check-only barriers
 		c.mu.Lock()
 		if phase == PhaseDone {
 			delete(c.segSnaps, st.job.ID)

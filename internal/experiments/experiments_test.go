@@ -16,7 +16,8 @@ func TestIDsComplete(t *testing.T) {
 		"extension-gpu",
 		"figure1", "figure10", "figure11", "figure12", "figure13",
 		"figure2", "figure3", "figure4", "figure4-real", "figure6", "figure7",
-		"figure8", "figure9", "robustness", "section5.3", "table1", "table2", "table4",
+		"figure8", "figure9", "robustness", "section5.3", "spotmarket",
+		"table1", "table2", "table4",
 	}
 	got := IDs()
 	if len(got) != len(want) {

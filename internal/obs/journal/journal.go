@@ -57,6 +57,11 @@ const (
 	RecoveryStart    Type = "recovery.start"
 	RecoveryReplan   Type = "recovery.replanned"
 	RecoveryDone     Type = "recovery.done"
+	// Elastic mid-training re-planning: a spot-price change made a
+	// cheaper-or-faster plan worth adopting (elastic.replan is the
+	// decision, elastic.scale is the executed cluster rebuild).
+	ElasticReplan Type = "elastic.replan"
+	ElasticScale  Type = "elastic.scale"
 
 	// Cloud provider instance lifecycle.
 	InstanceLaunched   Type = "cloud.instance.launched"

@@ -20,6 +20,7 @@ import (
 
 	"cynthia/internal/baseline"
 	"cynthia/internal/cloud"
+	"cynthia/internal/cloud/pricing"
 	"cynthia/internal/cluster"
 	"cynthia/internal/model"
 	"cynthia/internal/obs/journal"
@@ -59,6 +60,35 @@ func (f *FaultSpec) plan() cloud.FaultPlan {
 	}
 }
 
+// SpotSpec attaches a spot market to the scenario's provider and turns
+// on the controller's continuous optimizer (see cluster.ElasticConfig).
+type SpotSpec struct {
+	// Strategy is the bidding posture: "aggressive", "balanced", or
+	// "conservative" (default balanced).
+	Strategy string `json:"strategy,omitempty"`
+	// TraceFile names a price-trace JSON file (pricing.TraceSet),
+	// resolved relative to the test working directory like the scenario
+	// files themselves. Ignored when Traces is set inline.
+	TraceFile string `json:"trace_file,omitempty"`
+	// Traces embeds the price traces directly in the scenario, keeping
+	// the golden file self-contained.
+	Traces *pricing.TraceSet `json:"traces,omitempty"`
+	// ScaleOverheadSec and MinGainFrac override the elastic defaults.
+	ScaleOverheadSec float64 `json:"scale_overhead_sec,omitempty"`
+	MinGainFrac      float64 `json:"min_gain_frac,omitempty"`
+}
+
+// traceSet resolves the spec's price traces, inline or from file.
+func (sp *SpotSpec) traceSet() (*pricing.TraceSet, error) {
+	if sp.Traces != nil {
+		return sp.Traces, nil
+	}
+	if sp.TraceFile != "" {
+		return pricing.LoadTraceSet(sp.TraceFile)
+	}
+	return nil, fmt.Errorf("spot spec needs traces or trace_file")
+}
+
 // RecoverySpec selects the controller recovery knobs a scenario overrides.
 type RecoverySpec struct {
 	Disabled           bool    `json:"disabled,omitempty"`
@@ -84,6 +114,7 @@ type Outcome struct {
 	CostUSD        float64  `json:"cost_usd,omitempty"`
 	Recoveries     int      `json:"recoveries,omitempty"`
 	LostIterations int      `json:"lost_iterations,omitempty"`
+	ElasticScales  int      `json:"elastic_scales,omitempty"`
 	History        []string `json:"history"`
 }
 
@@ -102,6 +133,7 @@ type Scenario struct {
 
 	Fault    *FaultSpec    `json:"fault,omitempty"`
 	Recovery *RecoverySpec `json:"recovery,omitempty"`
+	Spot     *SpotSpec     `json:"spot,omitempty"`
 
 	// Expect is the golden outcome; -update rewrites it.
 	Expect *Outcome `json:"expect,omitempty"`
@@ -215,6 +247,30 @@ func buildWorld(s *Scenario, sink io.Writer) (*scenarioWorld, error) {
 	default:
 		return nil, fmt.Errorf("scenario %s: unknown provisioner %q", s.Name, s.Provisioner)
 	}
+	if s.Spot != nil {
+		set, err := s.Spot.traceSet()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+		strat := pricing.Balanced
+		if s.Spot.Strategy != "" {
+			if strat, err = pricing.ParseStrategy(s.Spot.Strategy); err != nil {
+				return nil, fmt.Errorf("scenario %s: %v", s.Name, err)
+			}
+		}
+		m, err := cloud.NewMarket(provider.Catalog(), set)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+		provider.SetMarket(m)
+		ctl.Elastic = cluster.ElasticConfig{
+			Enabled:          true,
+			Market:           m,
+			Strategy:         strat,
+			ScaleOverheadSec: s.Spot.ScaleOverheadSec,
+			MinGainFrac:      s.Spot.MinGainFrac,
+		}
+	}
 	return &scenarioWorld{workload: w, master: master, provider: provider, ctl: ctl, jrnl: jrnl, now: now}, nil
 }
 
@@ -251,6 +307,7 @@ func outcomeOf(job *cluster.Job) *Outcome {
 		CostUSD:        job.Cost,
 		Recoveries:     job.Recoveries,
 		LostIterations: job.LostIterations,
+		ElasticScales:  job.ElasticScales,
 	}
 	for _, st := range job.History {
 		out.History = append(out.History, string(st))

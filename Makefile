@@ -40,10 +40,10 @@ race:
 	$(GO) test -race -shuffle=on -timeout 15m ./...
 
 # stress repeats the packages with real concurrency (TCP parameter
-# servers, the recovery state machine) to shake out timing-dependent
-# flakes before they reach CI.
+# servers, the recovery state machine, the sharded parallel allocator) to
+# shake out timing-dependent flakes before they reach CI.
 stress:
-	$(GO) test -race -count=3 -shuffle=on -timeout 15m ./internal/ps ./internal/cluster
+	$(GO) test -race -count=3 -shuffle=on -timeout 15m ./internal/ps ./internal/cluster ./internal/flow
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -58,18 +58,21 @@ bench-obs:
 # benchmarks and serialize them into BENCH_flow.json and BENCH_obs.json.
 # Regenerate (and commit) after intentional perf-relevant changes.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out BENCH_flow.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out BENCH_flow.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out BENCH_obs.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_PLAN) | $(GO) run ./cmd/benchjson parse -out BENCH_plan.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_WAL) | $(GO) run ./cmd/benchjson parse -out BENCH_wal.json
 
 # bench-check re-runs the same benchmarks and gates against the committed
 # baseline, benchstat-style: allocs/op must not rise, incremental vs
-# reference allocator ratios must not regress >10%, and the incremental
-# allocator must stay >=2x faster than the reference within this run.
+# reference allocator ratios must not regress >10%, the incremental
+# allocator must stay >=2x faster than the reference within this run, the
+# sharded parallel allocator must beat its serial sibling on the
+# many-component topology (floor adapts to GOMAXPROCS; skipped on
+# single-proc machines), and end-to-end ddnnsim iters/s must not fall.
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out .bench_current.json
-	$(GO) run ./cmd/benchjson compare -baseline BENCH_flow.json -current .bench_current.json -threshold 10 -min-speedup 2
+	$(GO) test -run '^$$' -bench . -benchmem -count 6 -benchtime 0.5s $(BENCH_HOT) | $(GO) run ./cmd/benchjson parse -out .bench_current.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_flow.json -current .bench_current.json -threshold 10 -min-speedup 2 -min-par-speedup 2
 	@rm -f .bench_current.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 -benchtime 0.5s $(BENCH_OBS) | $(GO) run ./cmd/benchjson parse -out .bench_obs.json
 	$(GO) run ./cmd/benchjson compare -baseline BENCH_obs.json -current .bench_obs.json -threshold 10 -min-speedup 0

@@ -21,6 +21,7 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	ItersPerSec float64 `json:"iters_per_sec,omitempty"` // custom b.ReportMetric, higher is better
 }
 
 // File is the committed baseline format (BENCH_flow.json).
@@ -94,6 +95,8 @@ func mergeMin(in []Benchmark) []Benchmark {
 		}
 		out[i].BytesPerOp = min(out[i].BytesPerOp, b.BytesPerOp)
 		out[i].AllocsPerOp = min(out[i].AllocsPerOp, b.AllocsPerOp)
+		// iters/s is a throughput: higher is better, so keep the max.
+		out[i].ItersPerSec = max(out[i].ItersPerSec, b.ItersPerSec)
 	}
 	return out
 }
@@ -132,6 +135,8 @@ func parseLine(line string) (Benchmark, bool, error) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		case "iters/s":
+			b.ItersPerSec = v
 		}
 	}
 	if b.NsPerOp == 0 && !strings.Contains(line, "ns/op") {
@@ -186,6 +191,23 @@ func referenceSibling(name string) (string, bool) {
 	return "", false
 }
 
+// serialSibling maps Foo/parallel -> Foo/serial: the single-threaded run
+// of the same work, the denominator for the parallel speedup floor.
+func serialSibling(name string) (string, bool) {
+	if strings.HasSuffix(name, "/parallel") {
+		return strings.TrimSuffix(name, "/parallel") + "/serial", true
+	}
+	return "", false
+}
+
+// flowPkg reports whether a benchmark belongs to the flow engine package,
+// the only place where the parallel speedup floor is a hard acceptance
+// gate (other packages carry serial/parallel pairs whose ratio is
+// workload-bound, not allocator-bound).
+func flowPkg(b Benchmark) bool {
+	return strings.HasSuffix(b.Pkg, "internal/flow")
+}
+
 func index(f *File) map[string]Benchmark {
 	m := make(map[string]Benchmark, len(f.Benchmarks))
 	for _, b := range f.Benchmarks {
@@ -196,7 +218,7 @@ func index(f *File) map[string]Benchmark {
 
 // compare checks current against baseline and returns human-readable
 // failures (empty = pass) plus a benchstat-style report.
-func compare(baseline, current *File, thresholdPct, minSpeedup float64) (report string, failures []string) {
+func compare(baseline, current *File, thresholdPct, minSpeedup, minParSpeedup float64) (report string, failures []string) {
 	base := index(baseline)
 	cur := index(current)
 	var names []string
@@ -217,10 +239,30 @@ func compare(baseline, current *File, thresholdPct, minSpeedup float64) (report 
 		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
 		fmt.Fprintf(&sb, "%-44s %14.0f %14.0f %+7.1f%%\n", n, b.NsPerOp, c.NsPerOp, delta)
 
-		// Gate 1: allocations never increase (machine-independent).
-		if c.AllocsPerOp > b.AllocsPerOp {
+		// Gate 1: allocations never increase (machine-independent). The
+		// 0.1%+0.5 slack keeps zero-alloc benchmarks strict (a single
+		// new allocation still fails) while letting end-to-end runs with
+		// tens of thousands of allocs absorb +/-1 amortization jitter
+		// from benchtime-dependent slice growth.
+		if c.AllocsPerOp > b.AllocsPerOp*1.001+0.5 {
 			failures = append(failures, fmt.Sprintf(
 				"%s: allocs/op rose %.0f -> %.0f", n, b.AllocsPerOp, c.AllocsPerOp))
+		}
+
+		// Raw (non-ratio) comparisons against the baseline carry the full
+		// machine-speed difference between the baseline host and this one,
+		// so they gate at 3x the threshold; sibling-ratio gates below keep
+		// the tight threshold because the ratio cancels host speed.
+		rawPct := 3 * thresholdPct
+
+		// Gate on iters/s where both runs report it (custom throughput
+		// metric, higher is better): the end-to-end simulator throughput
+		// must not fall more than the raw threshold below the baseline.
+		if b.ItersPerSec > 0 && c.ItersPerSec > 0 &&
+			c.ItersPerSec < b.ItersPerSec*(1-rawPct/100) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: iters/s fell %.0f -> %.0f (> %.0f%%)",
+				n, b.ItersPerSec, c.ItersPerSec, rawPct))
 		}
 
 		// Gate 2: ns/op regression beyond the threshold. When both runs
@@ -242,13 +284,34 @@ func compare(baseline, current *File, thresholdPct, minSpeedup float64) (report 
 				continue
 			}
 		}
+		// "/parallel" benchmarks scale with the core count, so their raw
+		// ns and their ratio against the serial sibling only compare
+		// meaningfully between multi-proc runs at the same GOMAXPROCS (on
+		// one proc the pool degenerates to the serial path and the ratio
+		// is pure noise around 1); otherwise the within-run speedup floor
+		// (gate 4) is the only check.
+		if serName, hasSer := serialSibling(n); hasSer {
+			bser, okB := base[serName]
+			cser, okC := cur[serName]
+			if okB && okC && bser.NsPerOp > 0 && cser.NsPerOp > 0 &&
+				b.Procs == c.Procs && c.Procs > 1 {
+				baseRatio := b.NsPerOp / bser.NsPerOp
+				curRatio := c.NsPerOp / cser.NsPerOp
+				if curRatio > baseRatio*(1+thresholdPct/100) {
+					failures = append(failures, fmt.Sprintf(
+						"%s: ns/op relative to %s regressed %.3f -> %.3f (> %.0f%%)",
+						n, serName, baseRatio, curRatio, thresholdPct))
+				}
+			}
+			continue
+		}
 		// "/reference" benchmarks are the oracle denominator, not a
 		// protected hot path: their raw speed gates nothing (the paired
 		// incremental benchmark is gated on the ratio against them).
-		if delta > thresholdPct && !strings.HasSuffix(n, "/reference") {
+		if delta > rawPct && !strings.HasSuffix(n, "/reference") {
 			failures = append(failures, fmt.Sprintf(
 				"%s: ns/op regressed %.0f -> %.0f (%+.1f%% > %.0f%%)",
-				n, b.NsPerOp, c.NsPerOp, delta, thresholdPct))
+				n, b.NsPerOp, c.NsPerOp, delta, rawPct))
 		}
 	}
 
@@ -273,6 +336,37 @@ func compare(baseline, current *File, thresholdPct, minSpeedup float64) (report 
 			}
 		}
 	}
+
+	// Gate 4: within the current run, the flow engine's sharded parallel
+	// allocator must beat its serial sibling on the many-component
+	// topology. The floor adapts to the machine: min(minParSpeedup,
+	// 0.6*GOMAXPROCS), and is skipped entirely on single-proc runs where
+	// the pool degenerates to the serial path by construction.
+	if minParSpeedup > 0 {
+		for _, n := range names {
+			serName, ok := serialSibling(n)
+			if !ok || !flowPkg(cur[n]) {
+				continue
+			}
+			ser, okSer := cur[serName]
+			if !okSer || cur[n].NsPerOp <= 0 || ser.NsPerOp <= 0 {
+				continue
+			}
+			if cur[n].Procs <= 1 {
+				fmt.Fprintf(&sb, "%-44s parallel floor skipped: single-proc run\n", n)
+				continue
+			}
+			floor := min(minParSpeedup, 0.6*float64(cur[n].Procs))
+			speedup := ser.NsPerOp / cur[n].NsPerOp
+			fmt.Fprintf(&sb, "%-44s speedup vs serial: %.2fx (floor %.2fx at %d procs)\n",
+				n, speedup, floor, cur[n].Procs)
+			if speedup < floor {
+				failures = append(failures, fmt.Sprintf(
+					"%s: only %.2fx faster than %s at %d procs, want >= %.2fx",
+					n, speedup, serName, cur[n].Procs, floor))
+			}
+		}
+	}
 	return sb.String(), failures
 }
 
@@ -282,6 +376,7 @@ func runCompare(args []string, stdout io.Writer) error {
 	currentPath := fs.String("current", "", "current run JSON (from benchjson parse)")
 	threshold := fs.Float64("threshold", 10, "max ns/op regression percent")
 	minSpeedup := fs.Float64("min-speedup", 2, "min incremental-vs-reference speedup in the current run (0 disables)")
+	minParSpeedup := fs.Float64("min-par-speedup", 0, "min parallel-vs-serial speedup for flow-package benchmarks, capped at 0.6*procs and skipped on single-proc runs (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -296,7 +391,7 @@ func runCompare(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report, failures := compare(baseline, current, *threshold, *minSpeedup)
+	report, failures := compare(baseline, current, *threshold, *minSpeedup, *minParSpeedup)
 	io.WriteString(stdout, report)
 	if len(failures) > 0 {
 		return fmt.Errorf("%d perf gate failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

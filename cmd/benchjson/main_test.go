@@ -90,7 +90,7 @@ func TestCompareGates(t *testing.T) {
 	_, fails := compare(baseline, mkFile(map[string][2]float64{
 		"BenchmarkX/incremental": {110, 0},
 		"BenchmarkX/reference":   {440, 140},
-	}), 10, 2)
+	}), 10, 2, 0)
 	if len(fails) != 0 {
 		t.Errorf("clean run failed gates: %v", fails)
 	}
@@ -99,7 +99,7 @@ func TestCompareGates(t *testing.T) {
 	_, fails = compare(baseline, mkFile(map[string][2]float64{
 		"BenchmarkX/incremental": {100, 3},
 		"BenchmarkX/reference":   {400, 140},
-	}), 10, 2)
+	}), 10, 2, 0)
 	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
 		t.Errorf("alloc regression not caught: %v", fails)
 	}
@@ -109,7 +109,7 @@ func TestCompareGates(t *testing.T) {
 	_, fails = compare(baseline, mkFile(map[string][2]float64{
 		"BenchmarkX/incremental": {90, 0},
 		"BenchmarkX/reference":   {180, 140},
-	}), 10, 0)
+	}), 10, 0, 0)
 	if len(fails) != 1 || !strings.Contains(fails[0], "relative to") {
 		t.Errorf("ratio regression not caught: %v", fails)
 	}
@@ -118,14 +118,14 @@ func TestCompareGates(t *testing.T) {
 	_, fails = compare(baseline, mkFile(map[string][2]float64{
 		"BenchmarkX/incremental": {100, 0},
 		"BenchmarkX/reference":   {150, 140},
-	}), 1000, 2)
+	}), 1000, 2, 0)
 	if len(fails) != 1 || !strings.Contains(fails[0], "faster than") {
 		t.Errorf("speedup floor not enforced: %v", fails)
 	}
 
 	// Raw ns gate for benchmarks without a reference sibling.
 	soloBase := mkFile(map[string][2]float64{"BenchmarkY": {100, 0}})
-	_, fails = compare(soloBase, mkFile(map[string][2]float64{"BenchmarkY": {150, 0}}), 10, 2)
+	_, fails = compare(soloBase, mkFile(map[string][2]float64{"BenchmarkY": {150, 0}}), 10, 2, 0)
 	if len(fails) != 1 || !strings.Contains(fails[0], "regressed") {
 		t.Errorf("raw ns regression not caught: %v", fails)
 	}
@@ -134,8 +134,97 @@ func TestCompareGates(t *testing.T) {
 	_, fails = compare(soloBase, mkFile(map[string][2]float64{
 		"BenchmarkY": {100, 0},
 		"BenchmarkZ": {9999, 50},
-	}), 10, 2)
+	}), 10, 2, 0)
 	if len(fails) != 0 {
 		t.Errorf("new benchmark tripped gates: %v", fails)
+	}
+}
+
+// parFile builds a File with a serial/parallel flow-package pair at the
+// given procs count and ns/op values.
+func parFile(procs int, serialNs, parallelNs float64) *File {
+	return &File{Version: 1, Benchmarks: []Benchmark{
+		{Name: "BenchmarkAllocManyComponents/serial", Pkg: "cynthia/internal/flow", Procs: procs, Iters: 1, NsPerOp: serialNs},
+		{Name: "BenchmarkAllocManyComponents/parallel", Pkg: "cynthia/internal/flow", Procs: procs, Iters: 1, NsPerOp: parallelNs},
+	}}
+}
+
+func TestCompareParallelFloor(t *testing.T) {
+	baseline := parFile(8, 1000, 400)
+
+	// 2.5x at 8 procs clears the 2x floor.
+	_, fails := compare(baseline, parFile(8, 1000, 400), 10, 0, 2)
+	if len(fails) != 0 {
+		t.Errorf("clean parallel run failed gates: %v", fails)
+	}
+
+	// 1.2x at 8 procs is below the floor.
+	_, fails = compare(baseline, parFile(8, 1000, 830), 1000, 0, 2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "faster than") {
+		t.Errorf("parallel floor not enforced: %v", fails)
+	}
+
+	// At 2 procs the floor adapts to 0.6*2 = 1.2x, so 1.3x passes.
+	_, fails = compare(parFile(2, 1000, 760), parFile(2, 1000, 760), 1000, 0, 2)
+	if len(fails) != 0 {
+		t.Errorf("adaptive floor at 2 procs failed: %v", fails)
+	}
+
+	// Single-proc runs skip the floor: the pool degenerates to serial.
+	report, fails := compare(parFile(1, 1000, 1010), parFile(1, 1000, 1010), 1000, 0, 2)
+	if len(fails) != 0 {
+		t.Errorf("single-proc run tripped parallel floor: %v", fails)
+	}
+	if !strings.Contains(report, "parallel floor skipped") {
+		t.Errorf("single-proc skip not reported:\n%s", report)
+	}
+
+	// Cross-procs runs skip the baseline ratio gate (parallel speed is
+	// procs-bound), but the within-run floor still applies.
+	_, fails = compare(parFile(1, 1000, 1000), parFile(8, 1000, 400), 0.0001, 0, 2)
+	if len(fails) != 0 {
+		t.Errorf("cross-procs comparison tripped ratio gate: %v", fails)
+	}
+
+	// Same-procs ratio regression is caught even when the floor passes.
+	_, fails = compare(baseline, parFile(8, 1000, 500), 10, 0, 2)
+	if len(fails) != 1 || !strings.Contains(fails[0], "relative to") {
+		t.Errorf("parallel ratio regression not caught: %v", fails)
+	}
+}
+
+func TestCompareItersPerSec(t *testing.T) {
+	mk := func(itersPerSec float64) *File {
+		return &File{Version: 1, Benchmarks: []Benchmark{{
+			Name: "BenchmarkLargeClusterIterations", Pkg: "cynthia/internal/ddnnsim",
+			Iters: 1, NsPerOp: 3e6, ItersPerSec: itersPerSec,
+		}}}
+	}
+	if _, fails := compare(mk(30000), mk(29000), 10, 0, 0); len(fails) != 0 {
+		t.Errorf("small iters/s dip tripped the gate: %v", fails)
+	}
+	_, fails := compare(mk(30000), mk(20000), 10, 0, 0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "iters/s") {
+		t.Errorf("iters/s collapse not caught: %v", fails)
+	}
+}
+
+func TestParseItersPerSec(t *testing.T) {
+	const out = `pkg: cynthia/internal/ddnnsim
+BenchmarkLargeClusterIterations   122   3145562 ns/op   31791 iters/s   1027331 B/op   19047 allocs/op
+BenchmarkLargeClusterIterations   120   3200000 ns/op   31200 iters/s   1027331 B/op   19047 allocs/op
+PASS
+`
+	f, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(f.Benchmarks))
+	}
+	b := f.Benchmarks[0]
+	// ns/op merges to the min, iters/s (higher is better) to the max.
+	if b.NsPerOp != 3145562 || b.ItersPerSec != 31791 {
+		t.Errorf("merged benchmark = %+v, want ns/op 3145562 and iters/s 31791", b)
 	}
 }

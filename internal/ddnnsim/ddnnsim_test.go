@@ -420,6 +420,25 @@ func BenchmarkASPRound(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeClusterIterations is the end-to-end throughput gate: a
+// 64-worker / 8-PS cluster trained for 100 iterations per op, reported
+// as simulated training iterations per wall-clock second. cmd/benchjson
+// gates the iters/s figure directly (higher is better), so event-core or
+// allocator regressions anywhere in the engine -> ddnnsim stack show up
+// here even if no micro-benchmark moves.
+func BenchmarkLargeClusterIterations(b *testing.B) {
+	w, _ := model.WorkloadByName("ResNet-32")
+	const iters = 100
+	spec := Homogeneous(m4, 64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(w, spec, Options{Iterations: iters}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+}
+
 var _ = catalog // keep the package-level catalog referenced
 
 func TestNoOverlapSlowsBSP(t *testing.T) {

@@ -10,14 +10,28 @@ package flow
 // dirty set seeded by every Submit and completion. An allocation step
 // with an empty dirty set reuses the previous rates verbatim — recomputing
 // an unchanged max-min allocation is idempotent, so the skip is bit-exact.
-// Otherwise a BFS closure from the dirty resources finds the affected
-// components and waterfill runs over just those, with scan order inherited
-// from Engine.active so the bottleneck tie-break sequence matches what the
-// full recompute would have produced on the same component.
+// Otherwise a BFS closure from the dirty resources carves the affected
+// components into contiguous spans and waterfill runs over just those,
+// each component's flows sorted by submission sequence.
 //
-// Everything on this path is allocation-free in steady state: epoch stamps
-// (Resource.visit / Flow.visit) replace membership maps and the queue /
-// affected buffers live on the Engine and are reused across events.
+// Bottleneck selection is a strict total order: smallest fair share first,
+// ties broken by Resource creation index. Because the order is total (no
+// tolerance band), the minimum over the whole flow set restricted to one
+// component equals the minimum computed over that component alone — freeze
+// order is provably independent of how the flow set is partitioned, which
+// is what makes both component-local recomputation and the parallel
+// sharded allocator (parallel.go) bit-exact against the global reference
+// scan. The pre-fix comparator kept the original allocator's 1e-15
+// tolerance band; any banded "tie" relation is non-transitive, so the
+// running minimum depended on scan order and components could in principle
+// freeze differently under a different partition. The band is gone; shares
+// that differ by one ulp are simply different, and exact ties are resolved
+// by creation index identically under every partition.
+//
+// Everything on the incremental path is allocation-free in steady state:
+// epoch stamps (Resource.visit / Flow.visit) replace membership maps and
+// the queue / affected / comps / worklist buffers live on the Engine and
+// are reused across events.
 //
 // The pre-incremental full recompute survives as allocReference. It is
 // both the benchmark baseline and the correctness oracle: AllocVerify runs
@@ -25,53 +39,106 @@ package flow
 // and resource aggregate matches bit for bit (math.Float64bits equality,
 // not a tolerance) — the property the simtest golden corpus depends on.
 //
-// Known theoretical gap, accepted deliberately: the bottleneck scan keeps
-// the 1e-15 relative tie-break of the original allocator, so three or more
-// fair shares agreeing within ~2e-15 across *different* components could in
-// principle freeze in a different order than the global scan. No generated
-// or golden workload exhibits this (the differential tests would fail),
-// and within a component the orders are provably identical.
+// Mode independence discipline: dirty-set expansion, flow/resource
+// settlement, and completion-heap re-keying run identically in every mode;
+// only the rate computation between them differs. The reference recompute
+// rewrites unaffected components' rates with bit-identical values (the
+// restriction property above), so no settlement is needed where it does
+// not run.
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 )
 
 // AllocMode selects which max-min allocator the engine runs.
 type AllocMode int
 
 const (
-	// AllocIncremental (the default) re-waterfills only the connected
-	// components whose flow membership changed since the last step.
-	AllocIncremental AllocMode = iota
+	// AllocDefault defers to the package-level default (normally
+	// AllocIncremental; see SetDefaultAllocMode). It is the zero value, so
+	// callers that never choose a mode get the default allocator.
+	AllocDefault AllocMode = iota
+	// AllocIncremental re-waterfills only the connected components whose
+	// flow membership changed since the last step, serially.
+	AllocIncremental
 	// AllocReference runs the pre-incremental full recompute on every
 	// step — the benchmark baseline and differential-testing oracle.
 	AllocReference
 	// AllocVerify runs the incremental allocator, then the reference, and
 	// panics on any bitwise rate disagreement. Test-only: it allocates.
 	AllocVerify
+	// AllocParallel is AllocIncremental with the affected components
+	// waterfilled on a bounded worker pool (parallel.go). Bit-for-bit
+	// identical to the serial modes: components are disjoint, so the float
+	// arithmetic per component is the same regardless of which goroutine
+	// runs it or when.
+	AllocParallel
 )
 
 // String names the mode for diagnostics and benchmark labels.
 func (m AllocMode) String() string {
 	switch m {
+	case AllocDefault:
+		return "default"
 	case AllocIncremental:
 		return "incremental"
 	case AllocReference:
 		return "reference"
 	case AllocVerify:
 		return "verify"
+	case AllocParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("AllocMode(%d)", int(m))
 	}
 }
 
+// defaultAllocMode is the process-wide mode engines resolve AllocDefault
+// to. Zero (AllocDefault) means "not overridden" and reads as
+// AllocIncremental.
+var defaultAllocMode atomic.Int32
+
+// SetDefaultAllocMode overrides the allocator used by engines left in
+// AllocDefault mode, returning the previous default. It lets a harness
+// replay an entire scenario corpus under a different allocator (e.g.
+// AllocParallel) without threading a mode through every construction
+// site. Safe for concurrent use; restore the returned value when done.
+func SetDefaultAllocMode(m AllocMode) AllocMode {
+	old := AllocMode(defaultAllocMode.Swap(int32(m)))
+	if old == AllocDefault {
+		old = AllocIncremental
+	}
+	return old
+}
+
 // SetAllocMode selects the allocator implementation. Call before Run;
 // switching modes mid-run is safe but makes benchmark numbers meaningless.
+// AllocDefault (the zero value) defers to SetDefaultAllocMode.
 func (e *Engine) SetAllocMode(m AllocMode) { e.mode = m }
 
-// AllocMode returns the engine's current allocator mode.
+// AllocMode returns the engine's configured allocator mode (possibly
+// AllocDefault, before resolution against the package default).
 func (e *Engine) AllocMode() AllocMode { return e.mode }
+
+// SetParallelism caps the worker pool used by AllocParallel. n <= 0
+// restores the default, min(GOMAXPROCS, 8). Values above the component
+// count are harmless; a pool of 1 runs the serial path.
+func (e *Engine) SetParallelism(n int) { e.par = n }
+
+// effectiveMode resolves AllocDefault against the package default.
+func (e *Engine) effectiveMode() AllocMode {
+	m := e.mode
+	if m == AllocDefault {
+		m = AllocMode(defaultAllocMode.Load())
+		if m == AllocDefault {
+			m = AllocIncremental
+		}
+	}
+	return m
+}
 
 // allocSizeBounds buckets the affected-flow count of each recompute
 // (le semantics; one implicit overflow bucket follows). allocSizeBuckets
@@ -84,83 +151,203 @@ var (
 
 // allocate dispatches one allocation step to the configured allocator.
 func (e *Engine) allocate() {
-	switch e.mode {
+	switch e.effectiveMode() {
 	case AllocReference:
-		e.dirty = e.dirty[:0]
-		e.allocReference()
-		e.noteRecompute(len(e.active))
+		e.allocReferenceStep()
 	case AllocVerify:
-		e.allocIncremental()
+		e.allocIncrementalStep(false)
 		e.verifyAllocation()
+	case AllocParallel:
+		e.allocIncrementalStep(true)
 	default:
-		e.allocIncremental()
+		e.allocIncrementalStep(false)
 	}
 }
 
-// allocIncremental re-runs waterfilling over the connected components
+// allocIncrementalStep re-runs waterfilling over the connected components
 // reachable from the dirty resources, or skips entirely when no flow
-// membership changed. Steady-state cost is zero allocations.
-func (e *Engine) allocIncremental() {
+// membership changed. Steady-state cost is zero allocations on the serial
+// path.
+func (e *Engine) allocIncrementalStep(parallel bool) {
 	if len(e.dirty) == 0 {
 		e.stats.AllocSkipped++
 		return
 	}
-	e.allocEpoch++
-	ep := e.allocEpoch
-
-	// Seed the closure with the dirty resources (deduplicated by stamp).
-	queue := e.queue[:0]
-	for _, r := range e.dirty {
-		if r.visit != ep {
-			r.visit = ep
-			queue = append(queue, r)
-		}
+	e.expandDirty()
+	n := len(e.affected)
+	if parallel {
+		e.waterfillParallel()
+	} else {
+		e.waterfillSerial()
 	}
-	e.dirty = e.dirty[:0]
-
-	// BFS over the bipartite graph: resource -> crossing flows -> their
-	// paths. On exit every resource and flow in the affected components
-	// carries the current epoch stamp.
-	for i := 0; i < len(queue); i++ {
-		for _, f := range queue[i].flows {
-			if f.visit == ep {
-				continue
-			}
-			f.visit = ep
-			for _, r := range f.path {
-				if r.visit != ep {
-					r.visit = ep
-					queue = append(queue, r)
-				}
-			}
-		}
-	}
-	e.queue = queue
-
-	// Collect affected flows by filtering e.active, preserving submission
-	// order — the scan order the reference allocator's tie-break uses.
-	aff := e.affected[:0]
-	for _, f := range e.active {
-		if f.visit == ep {
-			aff = append(aff, f)
-		}
-	}
-	e.affected = aff
-
-	n := len(aff)
-	e.waterfill(queue, aff)
+	e.rekeyAffected()
 	e.noteRecompute(n)
 }
 
+// allocReferenceStep runs the full recompute. Settlement and re-keying
+// still follow the mode-independent dirty-set discipline so the float
+// sequences match the incremental modes exactly; the reference merely
+// computes every rate from scratch instead of only the affected ones.
+func (e *Engine) allocReferenceStep() {
+	if len(e.dirty) > 0 {
+		e.expandDirty()
+		for _, c := range e.comps {
+			res := e.queue[c.r0:c.r1]
+			for _, r := range res {
+				e.settleResource(r)
+			}
+			for _, f := range e.affected[c.f0:c.f1] {
+				e.settleFlow(f)
+			}
+			if c.f0 == c.f1 {
+				// Dead component: the dirty resource's last flow left. The
+				// full recompute never visits it, so zero the rate here
+				// (the incremental waterfill of an empty span does the
+				// same) or end-of-run settlement would accrue phantom busy.
+				for _, r := range res {
+					r.lastRate = 0
+				}
+			}
+		}
+		e.allocReference()
+		e.rekeyAffected()
+	} else {
+		// No membership change: the recompute is idempotent and rewrites
+		// every rate with identical bits, so neither settlement nor
+		// re-keying is needed.
+		e.allocReference()
+	}
+	e.noteRecompute(len(e.active))
+}
+
+// expandDirty carves the connected components reachable from the dirty
+// resources into contiguous spans of e.queue (resources) and e.affected
+// (flows), one compSpan per component in dirty-discovery order — which is
+// deterministic, because dirt is appended in Submit/completion order. Each
+// component's flow span is then sorted by submission sequence: that is the
+// scan order the waterfill tie-break uses, and sorting makes it
+// independent of r.flows order (which swap-removal scrambles).
+func (e *Engine) expandDirty() {
+	e.allocEpoch++
+	ep := e.allocEpoch
+	queue := e.queue[:0]
+	aff := e.affected[:0]
+	comps := e.comps[:0]
+	for _, seed := range e.dirty {
+		if seed.visit == ep {
+			continue
+		}
+		ci := int32(len(comps))
+		r0, f0 := int32(len(queue)), int32(len(aff))
+		seed.visit = ep
+		seed.comp = ci
+		queue = append(queue, seed)
+		// BFS over the bipartite graph: resource -> crossing flows ->
+		// their paths. Flows discovered from this seed land contiguously
+		// in aff[f0:], resources in queue[r0:].
+		for i := int(r0); i < len(queue); i++ {
+			for _, f := range queue[i].flows {
+				if f.visit == ep {
+					continue
+				}
+				f.visit = ep
+				f.comp = ci
+				aff = append(aff, f)
+				for _, r := range f.path {
+					if r.visit != ep {
+						r.visit = ep
+						r.comp = ci
+						queue = append(queue, r)
+					}
+				}
+			}
+		}
+		comps = append(comps, compSpan{r0: r0, r1: int32(len(queue)), f0: f0, f1: int32(len(aff))})
+	}
+	e.dirty = e.dirty[:0]
+	e.queue, e.affected, e.comps = queue, aff, comps
+	for _, c := range comps {
+		if c.f1-c.f0 > 1 {
+			e.spanSort.flows = aff[c.f0:c.f1]
+			sort.Sort(&e.spanSort)
+		}
+	}
+	e.spanSort.flows = nil
+}
+
+// spanSorter orders one component's flow span by submission sequence. It
+// lives on the Engine so sorting allocates nothing (pointer receiver into
+// the sort.Interface box).
+type spanSorter struct{ flows []*Flow }
+
+func (s *spanSorter) Len() int           { return len(s.flows) }
+func (s *spanSorter) Less(i, j int) bool { return s.flows[i].seq < s.flows[j].seq }
+func (s *spanSorter) Swap(i, j int)      { s.flows[i], s.flows[j] = s.flows[j], s.flows[i] }
+
+// runComp settles one component's accounting through e.now, then
+// waterfills it. work is the caller's reusable unfrozen-worklist buffer;
+// the (possibly grown) buffer is returned for reuse. Components are
+// disjoint, so concurrent runComp calls on different components touch
+// disjoint memory (e.now and capacities are read-only during allocation).
+func (e *Engine) runComp(c compSpan, work []*Flow) []*Flow {
+	res := e.queue[c.r0:c.r1]
+	fls := e.affected[c.f0:c.f1]
+	for _, r := range res {
+		e.settleResource(r)
+	}
+	for _, f := range fls {
+		e.settleFlow(f)
+	}
+	return e.waterfill(res, fls, work)
+}
+
+// waterfillSerial runs every affected component in discovery order on the
+// calling goroutine.
+func (e *Engine) waterfillSerial() {
+	e.ensureScratch(1)
+	buf := e.wfScratch[0]
+	for _, c := range e.comps {
+		buf = e.runComp(c, buf)
+	}
+	e.wfScratch[0] = buf
+}
+
+// ensureScratch grows the per-worker worklist table to at least n slots.
+func (e *Engine) ensureScratch(n int) {
+	for len(e.wfScratch) < n {
+		e.wfScratch = append(e.wfScratch, nil)
+	}
+}
+
+// rekeyAffected recomputes the completion-heap key of every flow that was
+// just settled and re-rated, in span order. Heap surgery is not
+// thread-safe, so this stays on the event-loop goroutine in every mode;
+// the pop order the event loop observes depends only on the (doneAt, seq)
+// keys, not on re-key order.
+func (e *Engine) rekeyAffected() {
+	for _, f := range e.affected {
+		switch {
+		case f.remaining <= 0:
+			f.doneAt = e.now
+		case f.rate > 0:
+			f.doneAt = e.now + f.remaining/f.rate
+		default:
+			f.doneAt = math.Inf(1)
+		}
+		e.heapFix(f)
+	}
+}
+
 // waterfill runs progressive filling restricted to the given resources and
-// flows (the affected components, or everything on a first step). It is
-// the same algorithm as allocReference with the map-backed scratch state
-// moved onto the Resource structs: repeatedly find the resource with the
-// smallest per-flow fair share, freeze its flows at that share, charge
-// their paths, and continue until every flow is frozen.
+// flows (one affected component). It is the same algorithm as
+// allocReference with the map-backed scratch state moved onto the Resource
+// structs: repeatedly find the bottleneck — smallest per-flow fair share,
+// ties broken by resource creation index — freeze its flows at that share,
+// charge their paths, and continue until every flow is frozen.
 //
-// flows is consumed destructively (it doubles as the unfrozen worklist).
-func (e *Engine) waterfill(resources []*Resource, flows []*Flow) {
+// work is a reusable buffer for the unfrozen worklist (the flow span
+// itself must survive for re-keying); the grown buffer is returned.
+func (e *Engine) waterfill(resources []*Resource, flows []*Flow, work []*Flow) []*Flow {
 	for _, r := range resources {
 		r.remaining = r.capacity
 		r.nflows = 0
@@ -172,19 +359,22 @@ func (e *Engine) waterfill(resources []*Resource, flows []*Flow) {
 			r.nflows++
 		}
 	}
-	unfrozen := flows
+	unfrozen := append(work[:0], flows...)
 	for len(unfrozen) > 0 {
-		// Bottleneck = resource with the smallest per-flow fair share.
+		// Bottleneck = strict minimum under the (share, creation index)
+		// total order. Deterministic iteration: scan flows' paths in
+		// submission order. Because the order is total, the winner within
+		// this component is the same one the global scan would pick for
+		// it — partition independence.
 		var bottleneck *Resource
 		best := math.Inf(1)
-		// Deterministic iteration: scan flows' paths in order.
 		for _, f := range unfrozen {
 			for _, r := range f.path {
 				if r.nflows == 0 {
 					continue
 				}
 				share := r.remaining / float64(r.nflows)
-				if share < best-1e-15 {
+				if share < best || (share == best && r.index < bottleneck.index) {
 					best = share
 					bottleneck = r
 				}
@@ -225,11 +415,13 @@ func (e *Engine) waterfill(resources []*Resource, flows []*Flow) {
 			r.lastRate = 0
 		}
 	}
+	return unfrozen[:0]
 }
 
-// allocReference is the pre-incremental allocator, kept verbatim: a full
-// map-backed recompute over every active flow. It writes only f.rate and
-// r.lastRate, so running it never corrupts the incremental bookkeeping
+// allocReference is the pre-incremental allocator, kept verbatim apart
+// from the shared bottleneck total order: a full map-backed recompute over
+// every active flow, scanned in submission order. It writes only f.rate
+// and r.lastRate, so running it never corrupts the incremental bookkeeping
 // (remaining/nflows are re-initialized by every waterfill).
 func (e *Engine) allocReference() {
 	type resState struct {
@@ -237,9 +429,14 @@ func (e *Engine) allocReference() {
 		remaining float64 // capacity not yet assigned
 		nflows    int     // unfrozen flows through this resource
 	}
+	// The active set is unordered (completion swap-removes); the reference
+	// scan is defined over submission order.
+	act := make([]*Flow, len(e.active))
+	copy(act, e.active)
+	sort.Slice(act, func(i, j int) bool { return act[i].seq < act[j].seq })
 	states := map[*Resource]*resState{}
-	flowResources := make(map[*Flow][]*resState, len(e.active))
-	for _, f := range e.active {
+	flowResources := make(map[*Flow][]*resState, len(act))
+	for _, f := range act {
 		f.rate = 0
 		for _, r := range f.path {
 			st := states[r]
@@ -254,20 +451,20 @@ func (e *Engine) allocReference() {
 	for r := range states {
 		r.lastRate = 0
 	}
-	unfrozen := make([]*Flow, len(e.active))
-	copy(unfrozen, e.active)
+	unfrozen := make([]*Flow, len(act))
+	copy(unfrozen, act)
 	for len(unfrozen) > 0 {
-		// Bottleneck = resource with the smallest per-flow fair share.
+		// Bottleneck = strict minimum under the (share, creation index)
+		// total order — identical to waterfill and the parallel path.
 		var bottleneck *resState
 		best := math.Inf(1)
-		// Deterministic iteration: scan flows' paths in order.
 		for _, f := range unfrozen {
 			for _, st := range flowResources[f] {
 				if st.nflows == 0 {
 					continue
 				}
 				share := st.remaining / float64(st.nflows)
-				if share < best-1e-15 {
+				if share < best || (share == best && st.res.index < bottleneck.res.index) {
 					best = share
 					bottleneck = st
 				}
@@ -317,7 +514,8 @@ func (e *Engine) allocReference() {
 // allocators being interchangeable to the last ulp. Only resources on
 // active paths are compared: the reference never touches resources whose
 // last flow completed, while the incremental allocator zeroes them (their
-// lastRate is dead either way — advanceTo visits active paths only).
+// lastRate is dead either way once zeroed — settlement accrues nothing at
+// rate zero).
 func (e *Engine) verifyAllocation() {
 	rates := make([]float64, len(e.active))
 	resRates := make(map[*Resource]float64)

@@ -1,8 +1,10 @@
 package flow
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"cynthia/internal/obs"
@@ -16,6 +18,12 @@ func buildChurn(seed int64, mode AllocMode) (end float64, completions []float64)
 	rng := rand.New(rand.NewSource(seed))
 	e := NewEngine()
 	e.SetAllocMode(mode)
+	if mode == AllocParallel {
+		// Force a real pool even when GOMAXPROCS is 1, so the concurrent
+		// code path (not the serial fallback) is what gets differentially
+		// tested and raced.
+		e.SetParallelism(4)
+	}
 	nRes := 4 + rng.Intn(12)
 	resources := make([]*Resource, nRes)
 	for i := range resources {
@@ -58,28 +66,123 @@ func buildChurn(seed int64, mode AllocMode) (end float64, completions []float64)
 	return end, completions
 }
 
-// TestDifferentialIncrementalVsReference runs randomized churn scenarios
-// under all three modes and requires bitwise-identical end times and
-// completion sequences: the incremental allocator must be indistinguishable
-// from the pre-incremental full recompute to the last ulp.
+// churnMatches runs one churn seed under a candidate mode and requires its
+// end time and completion sequence to match the reference bit for bit.
+func churnMatches(t *testing.T, seed int64, refEnd float64, refC []float64, mode AllocMode) {
+	t.Helper()
+	end, c := buildChurn(seed, mode)
+	if math.Float64bits(refEnd) != math.Float64bits(end) {
+		t.Fatalf("seed %d: end time diverged: reference %v, %v %v", seed, refEnd, mode, end)
+	}
+	if len(refC) != len(c) {
+		t.Fatalf("seed %d: completion count diverged: reference %d, %v %d", seed, len(refC), mode, len(c))
+	}
+	for i := range refC {
+		if math.Float64bits(refC[i]) != math.Float64bits(c[i]) {
+			t.Fatalf("seed %d: completion %d diverged: reference %v, %v %v", seed, i, refC[i], mode, c[i])
+		}
+	}
+}
+
+// TestDifferentialIncrementalVsReference runs 200 randomized churn seeds
+// as a three-way bitwise comparison — full-recompute reference vs serial
+// incremental vs parallel component-sharded — and requires identical end
+// times and completion sequences: every allocator must be
+// indistinguishable from every other to the last ulp.
 func TestDifferentialIncrementalVsReference(t *testing.T) {
 	for seed := int64(0); seed < 200; seed++ {
 		refEnd, refC := buildChurn(seed, AllocReference)
-		incEnd, incC := buildChurn(seed, AllocIncremental)
-		if math.Float64bits(refEnd) != math.Float64bits(incEnd) {
-			t.Fatalf("seed %d: end time diverged: reference %v, incremental %v", seed, refEnd, incEnd)
-		}
-		if len(refC) != len(incC) {
-			t.Fatalf("seed %d: completion count diverged: reference %d, incremental %d", seed, len(refC), len(incC))
-		}
-		for i := range refC {
-			if math.Float64bits(refC[i]) != math.Float64bits(incC[i]) {
-				t.Fatalf("seed %d: completion %d diverged: reference %v, incremental %v", seed, i, refC[i], incC[i])
-			}
-		}
+		churnMatches(t, seed, refEnd, refC, AllocIncremental)
+		churnMatches(t, seed, refEnd, refC, AllocParallel)
 		// Verify mode re-checks every recompute internally and panics on
 		// any bitwise rate mismatch mid-run, not just at completions.
 		buildChurn(seed, AllocVerify)
+	}
+}
+
+// TestDifferentialParallelAcrossGOMAXPROCS re-runs the churn harness in
+// AllocParallel mode at GOMAXPROCS=1 (workers multiplexed on one thread)
+// and GOMAXPROCS=NumCPU (true parallelism where the hardware has it),
+// against serial-incremental references: goroutine scheduling must never
+// reach the bits.
+func TestDifferentialParallelAcrossGOMAXPROCS(t *testing.T) {
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("procs-%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for seed := int64(0); seed < 200; seed++ {
+				refEnd, refC := buildChurn(seed, AllocIncremental)
+				churnMatches(t, seed, refEnd, refC, AllocParallel)
+			}
+		})
+	}
+}
+
+// tieBreakRates builds the crafted cross-component near-tie topology and
+// returns the four long-lived flows' rates after the trigger completion.
+//
+// Component B is a single resource X whose lone flow's fair share sits
+// 1.8e-15 above component A's R2 share and 0.9e-15 above its R1 share —
+// every adjacent pair of shares is inside the old comparator's 1e-15
+// tolerance band, but the extremes are outside it. Under the old banded
+// comparator the winner between R1 and R2 depended on whether X's share
+// was the running best when they were scanned: the global reference scan
+// (X first) froze R2's flows first, while a component-local scan of A
+// froze R1's — a genuine cross-partition divergence. The total-order
+// comparator picks R2 (strictly smallest share) under every partition,
+// and the later exact tie between X and R1 (their shares collapse to the
+// same float) is broken by creation index identically everywhere.
+func tieBreakRates(mode AllocMode) [4]float64 {
+	e := NewEngine()
+	e.SetAllocMode(mode)
+	if mode == AllocParallel {
+		e.SetParallelism(4)
+	}
+	x := NewResource("x", 1+1.8e-15)
+	r1 := NewResource("r1", 2+1.8e-15)
+	r2 := NewResource("r2", 2.0)
+	fB := e.Submit("fB", 1e6, []*Resource{x}, nil)
+	// g0 is the trigger: its completion dirties only component A, forcing
+	// the incremental allocators onto the component-local scan while the
+	// reference rescans everything.
+	e.Submit("g0", 1e-6, []*Resource{r1}, nil)
+	g1 := e.Submit("g1", 1e6, []*Resource{r1}, nil)
+	g2 := e.Submit("g2", 1e6, []*Resource{r1, r2}, nil)
+	g3 := e.Submit("g3", 1e6, []*Resource{r2}, nil)
+	e.At(1, func(float64) { e.Stop() })
+	e.Run(0)
+	return [4]float64{fB.Rate(), g1.Rate(), g2.Rate(), g3.Rate()}
+}
+
+// TestCrossComponentTieBreakPartitionIndependent is the regression test
+// for the waterfill determinism hole: on the crafted topology the old
+// banded comparator made the incremental (component-local) allocator
+// freeze different flows than the global reference scan. The total order
+// must produce bit-identical rates under every partition — and exactly
+// the rates the strict global minimum dictates.
+func TestCrossComponentTieBreakPartitionIndependent(t *testing.T) {
+	ref := tieBreakRates(AllocReference)
+	names := [4]string{"fB", "g1", "g2", "g3"}
+	// The strict minimum after the trigger completes is R2 (share exactly
+	// 1.0): its flows g2 and g3 freeze at 1.0. The old component-local
+	// scan instead froze g1 and g2 at R1's share 1+9e-16 — so g2 == 1.0
+	// is precisely the bit the old comparator got wrong.
+	if ref[2] != 1.0 || ref[3] != 1.0 {
+		t.Fatalf("reference g2/g3 rates = %v/%v, want exactly 1.0 (R2 is the strict bottleneck)", ref[2], ref[3])
+	}
+	// X's and R1's residual shares collapse to the same float: the exact
+	// tie the creation-index order resolves.
+	if math.Float64bits(ref[0]) != math.Float64bits(ref[1]) {
+		t.Fatalf("fB and g1 rates differ (%v vs %v), want the exact tie", ref[0], ref[1])
+	}
+	for _, mode := range []AllocMode{AllocIncremental, AllocParallel, AllocVerify} {
+		got := tieBreakRates(mode)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Errorf("%v: flow %s rate %v (%#016x) != reference %v (%#016x)",
+					mode, names[i], got[i], math.Float64bits(got[i]), ref[i], math.Float64bits(ref[i]))
+			}
+		}
 	}
 }
 

@@ -16,11 +16,16 @@
 // saturation, and idle worker CPUs behind a bottleneck.
 //
 // The allocation is maintained incrementally (see alloc.go): an arrival or
-// completion re-runs waterfilling only over the connected component of the
+// completion re-runs waterfilling only over the connected components of the
 // flow/resource graph it touches, and steps whose flow set did not change
-// skip the recomputation entirely. The pre-incremental full recompute is
-// kept as a reference allocator; AllocVerify cross-checks the two bit for
-// bit on every recompute.
+// skip the recomputation entirely. Event selection and accounting are
+// indexed and lazy to match: the next completion comes from a min-heap of
+// predicted completion times (re-keyed only for flows whose component was
+// re-waterfilled), flow progress and per-resource busyIntegral are settled
+// only when a component is re-waterfilled (plus once at Run exit), so a
+// step that touches one component costs O(affected), not O(cluster).
+// The pre-incremental full recompute is kept as a reference allocator;
+// AllocVerify cross-checks the two bit for bit on every recompute.
 package flow
 
 import (
@@ -33,6 +38,14 @@ import (
 	"cynthia/internal/obs"
 )
 
+// resourceSeq hands out process-wide creation indices. The absolute values
+// are meaningless; only the relative order of resources within one engine's
+// topology matters, and topologies are built sequentially per engine, so
+// the order is deterministic run to run. The counter is atomic because
+// independent engines (e.g. parallel plan-candidate evaluations) create
+// resources concurrently.
+var resourceSeq atomic.Int64
+
 // Resource is a finite-capacity service point shared by flows. A Resource
 // belongs to at most one Engine at a time: the engine writes its
 // accounting and allocator bookkeeping without synchronization (this was
@@ -41,16 +54,22 @@ import (
 type Resource struct {
 	name     string
 	capacity float64 // service units per second (> 0)
+	index    int64   // creation sequence: total-order tie-break in waterfill
 
-	// Accounting, maintained by the Engine.
-	busyIntegral float64 // ∫ allocated-rate dt, in service units
+	// Accounting, maintained by the Engine. busyIntegral is settled lazily:
+	// it is current through settledAt, and the interval [settledAt, now) is
+	// still accruing at lastRate until the resource's component is next
+	// re-waterfilled or the run ends.
+	busyIntegral float64 // ∫ allocated-rate dt through settledAt
 	lastRate     float64 // total rate allocated at the current instant
+	settledAt    float64 // sim time busyIntegral/series are settled through
 	series       *Series // optional time series of allocated rate
+	owner        *Engine // engine this resource is registered with
 
 	// Allocator bookkeeping, maintained by the Engine (alloc.go).
 	flows     []*Flow // active flows crossing, one entry per path occurrence
 	visit     int64   // allocation-epoch stamp: in the current affected set
-	adv       int64   // advance-epoch stamp: accounting done for this step
+	comp      int32   // component id within the current allocation epoch
 	remaining float64 // waterfill scratch: capacity not yet assigned
 	nflows    int     // waterfill scratch: unfrozen flows crossing
 }
@@ -61,7 +80,7 @@ func NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		panic(fmt.Sprintf("flow: resource %q capacity %v out of range", name, capacity))
 	}
-	return &Resource{name: name, capacity: capacity}
+	return &Resource{name: name, capacity: capacity, index: resourceSeq.Add(1)}
 }
 
 // Name returns the resource name.
@@ -71,8 +90,17 @@ func (r *Resource) Name() string { return r.name }
 func (r *Resource) Capacity() float64 { return r.capacity }
 
 // BusyIntegral returns the total service delivered so far, in service
-// units. Dividing by (capacity × elapsed time) yields mean utilization.
-func (r *Resource) BusyIntegral() float64 { return r.busyIntegral }
+// units, including the not-yet-settled interval since the last rate
+// change. Dividing by (capacity × elapsed time) yields mean utilization.
+func (r *Resource) BusyIntegral() float64 {
+	bi := r.busyIntegral
+	if r.owner != nil && r.lastRate > 0 {
+		if dt := r.owner.now - r.settledAt; dt > 0 {
+			bi += r.lastRate * dt
+		}
+	}
+	return bi
+}
 
 // utilClampTolerance separates genuine accounting drift from the ulp-level
 // float noise of summing many per-step busy intervals: ratios within it of
@@ -103,15 +131,23 @@ func noteUtilizationClamp() {
 func UtilizationClamps() int64 { return utilClamps.Load() }
 
 // Utilization returns the mean utilization of the resource over [0, now],
-// in [0, 1]. It returns 0 if now is not positive. Ratios above 1 indicate
-// accounting drift: they are still clamped (preserving the historical
-// return value), but recorded via UtilizationClamps and the
-// cynthia_flow_util_clamp_total counter instead of being silently masked.
+// in [0, 1]. It returns 0 if now is not positive. The not-yet-settled
+// accrual interval is included, so the reading is exact at any observation
+// point, not just after a rate change. Ratios above 1 indicate accounting
+// drift: they are still clamped (preserving the historical return value),
+// but recorded via UtilizationClamps and the cynthia_flow_util_clamp_total
+// counter instead of being silently masked.
 func (r *Resource) Utilization(now float64) float64 {
 	if now <= 0 {
 		return 0
 	}
-	u := r.busyIntegral / (r.capacity * now)
+	bi := r.busyIntegral
+	if r.lastRate > 0 {
+		if dt := now - r.settledAt; dt > 0 {
+			bi += r.lastRate * dt
+		}
+	}
+	u := bi / (r.capacity * now)
 	if u > 1+utilClampTolerance {
 		noteUtilizationClamp()
 	}
@@ -130,20 +166,38 @@ func (r *Resource) Record(binWidth float64) *Series {
 type Flow struct {
 	label     string
 	size      float64
-	remaining float64
+	remaining float64 // work left as of settled (lazy; see Remaining)
 	path      []*Resource
 	rate      float64
 	done      func(now float64)
 	started   float64
 	engine    *Engine
-	visit     int64 // allocation-epoch stamp: in the current affected set
+	seq       int64   // submission sequence: scan order and completion ties
+	settled   float64 // sim time remaining was last settled at
+	doneAt    float64 // predicted completion instant under the current rate
+	heapIdx   int     // position in Engine.cheap, -1 when not enqueued
+	actIdx    int     // position in Engine.active for O(1) removal
+	visit     int64   // allocation-epoch stamp: in the current affected set
+	comp      int32   // component id within the current allocation epoch
 }
 
 // Label returns the diagnostic label given at submission.
 func (f *Flow) Label() string { return f.label }
 
-// Remaining returns the work left, in service units.
-func (f *Flow) Remaining() float64 { return f.remaining }
+// Remaining returns the work left, in service units, including progress
+// accrued since the flow's component was last settled.
+func (f *Flow) Remaining() float64 {
+	rem := f.remaining
+	if f.engine != nil && f.rate > 0 {
+		if dt := f.engine.now - f.settled; dt > 0 {
+			rem -= f.rate * dt
+			if rem < 0 {
+				rem = 0
+			}
+		}
+	}
+	return rem
+}
 
 // Rate returns the most recently allocated rate.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -152,26 +206,46 @@ func (f *Flow) Rate() float64 { return f.rate }
 // use NewEngine.
 type Engine struct {
 	now     float64
-	active  []*Flow
+	active  []*Flow // unordered; Flow.actIdx tracks slots for O(1) removal
 	timers  timerHeap
-	seq     int // tie-break for deterministic timer ordering
+	seq     int   // tie-break for deterministic timer ordering
+	flowSeq int64 // submission sequence handed to flows
 	stopped bool
 	mode    AllocMode
+	par     int // parallel waterfill worker cap (0 = min(GOMAXPROCS, 8))
+
+	// Every resource ever submitted on, so lazy accounting can be settled
+	// at Run exit without scanning active flows.
+	resources []*Resource
+
+	// cheap is the completion-time min-heap ordered by (doneAt, seq). Every
+	// active flow is in it; stalled flows carry doneAt = +Inf. Keys are
+	// re-computed only for flows whose component was re-waterfilled.
+	cheap []*Flow
 
 	// Incremental-allocator state: dirty seeds the next recompute with the
-	// resources whose flow membership changed; queue/affected/finScratch
-	// are buffers reused across events so the steady-state event loop
-	// allocates nothing.
+	// resources whose flow membership changed; queue/affected/comps and the
+	// waterfill scratch buffers are reused across events so the
+	// steady-state event loop allocates nothing.
 	allocEpoch int64
-	advEpoch   int64
 	dirty      []*Resource
-	queue      []*Resource
-	affected   []*Flow
+	queue      []*Resource // affected resources, contiguous per component
+	affected   []*Flow     // affected flows, contiguous per component
+	comps      []compSpan
+	spanSort   spanSorter
+	wfScratch  [][]*Flow // per-worker unfrozen worklists (slot 0 = serial)
 	finScratch []*Flow
 	allocSizes [len(allocSizeBounds) + 1]int64 // affected flows per recompute
 
 	observer func(f *Flow, start, end float64)
 	stats    EngineStats
+}
+
+// compSpan delimits one connected component inside Engine.queue (resources)
+// and Engine.affected (flows): queue[r0:r1] and affected[f0:f1].
+type compSpan struct {
+	r0, r1 int32
+	f0, f1 int32
 }
 
 // EngineStats count the engine's own work, for observability: how many
@@ -224,7 +298,7 @@ func (e *Engine) Submit(label string, size float64, path []*Resource, done func(
 	if len(path) == 0 {
 		panic(fmt.Sprintf("flow: flow %q has empty path", label))
 	}
-	f := &Flow{label: label, size: size, remaining: size, path: path, done: done, started: e.now, engine: e}
+	f := &Flow{label: label, size: size, remaining: size, path: path, done: done, started: e.now, engine: e, settled: e.now, heapIdx: -1}
 	if size <= 0 {
 		e.stats.FlowsCompleted++
 		if e.observer != nil {
@@ -235,11 +309,26 @@ func (e *Engine) Submit(label string, size float64, path []*Resource, done func(
 		}
 		return f
 	}
+	e.flowSeq++
+	f.seq = e.flowSeq
+	f.actIdx = len(e.active)
 	e.active = append(e.active, f)
 	for _, r := range path {
 		r.flows = append(r.flows, f)
+		if r.owner != e {
+			// First time this engine sees the resource: register it for
+			// end-of-run settlement and pin its accounting clock to now
+			// (nothing accrued on this engine before the flow arrived).
+			r.owner = e
+			r.settledAt = e.now
+			e.resources = append(e.resources, r)
+		}
 	}
 	e.dirty = append(e.dirty, path...)
+	// Until its component is waterfilled the flow has no rate; it enters
+	// the completion heap stalled and is re-keyed by the next allocate.
+	f.doneAt = math.Inf(1)
+	e.heapPush(f)
 	return f
 }
 
@@ -267,9 +356,32 @@ func (e *Engine) After(d float64, fn func(now float64)) {
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// clockSlack returns the event-coincidence tolerance at simulated time t:
+// events within this window of the clock are treated as simultaneous. It
+// is clock-relative — a few ulps of t — with a 1e-12 floor near zero, so
+// same-instant events computed via different roundings coincide at any
+// clock magnitude (an absolute 1e-12 is below one ulp once t > ~4096s),
+// while the window stays physically negligible (4 ulps of a day-long clock
+// is ~0.1µs). The same slack bounds the work residual forgiven at
+// completion, making that threshold clock-relative too instead of the old
+// rate-proportional epsilon that could retire ≥1 unit of real work on a
+// high-capacity fabric.
+func clockSlack(t float64) float64 {
+	if t < 0 {
+		t = -t
+	}
+	s := 4 * (math.Nextafter(t, math.Inf(1)) - t)
+	if s < 1e-12 {
+		s = 1e-12
+	}
+	return s
+}
+
 // Run processes events until no active flows or timers remain, until the
 // optional horizon (seconds, <= 0 means none) is reached, or until Stop is
-// called. It returns the final simulated time.
+// called. It returns the final simulated time. Lazy accounting is settled
+// through the final time before returning, so BusyIntegral/Utilization and
+// attached Series are exact at the returned instant.
 func (e *Engine) Run(horizon float64) float64 {
 	e.stopped = false
 	for !e.stopped {
@@ -278,88 +390,106 @@ func (e *Engine) Run(horizon float64) float64 {
 		}
 		e.stats.Steps++
 		e.allocate()
-		// Earliest flow completion.
-		nextFlow := math.Inf(1)
-		for _, f := range e.active {
-			if f.rate > 0 {
-				if t := e.now + f.remaining/f.rate; t < nextFlow {
-					nextFlow = t
-				}
+		// Earliest event: completion-heap top vs timer-heap top. Every
+		// active flow is in the heap (stalled ones at +Inf), so this is
+		// O(1) instead of a scan over the active set.
+		next := math.Inf(1)
+		if len(e.cheap) > 0 {
+			next = e.cheap[0].doneAt
+		}
+		if e.timers.Len() > 0 {
+			if at := e.timers.peek().at; at < next {
+				next = at
 			}
 		}
-		nextTimer := math.Inf(1)
-		if e.timers.Len() > 0 {
-			nextTimer = e.timers.peek().at
-		}
-		next := math.Min(nextFlow, nextTimer)
 		if math.IsInf(next, 1) {
 			// Active flows exist but none can progress and no timers
 			// remain: deadlock. Surface it loudly rather than spinning.
 			panic(fmt.Sprintf("flow: deadlock at t=%g with %d stalled flows", e.now, len(e.active)))
 		}
 		if horizon > 0 && next > horizon {
-			e.advanceTo(horizon)
 			e.now = horizon
 			break
 		}
-		e.advanceTo(next)
 		e.now = next
 		e.completeFinished()
 		e.fireTimers()
 	}
+	e.settleAll()
 	return e.now
 }
 
-// advanceTo integrates flow progress and resource accounting from e.now to
-// t, without changing e.now.
-func (e *Engine) advanceTo(t float64) {
-	dt := t - e.now
-	if dt <= 0 {
-		return
-	}
-	e.advEpoch++
-	ep := e.advEpoch
-	for _, f := range e.active {
+// settleFlow folds progress since the flow's last settlement into its
+// remaining work and re-pins the settlement clock to now. Called exactly
+// when the flow's component is about to be re-waterfilled (before rates
+// are overwritten) and at completion — identically in every alloc mode, so
+// the float arithmetic sequence, and hence the bits, never depend on mode.
+func (e *Engine) settleFlow(f *Flow) {
+	if dt := e.now - f.settled; dt > 0 {
 		f.remaining -= f.rate * dt
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
-		for _, r := range f.path {
-			if r.adv != ep {
-				r.adv = ep
-				r.busyIntegral += r.lastRate * dt
-				if r.series != nil {
-					r.series.Accumulate(e.now, t, r.lastRate)
-				}
+	}
+	f.settled = e.now
+}
+
+// settleResource folds the accrual interval [settledAt, now) at lastRate
+// into busyIntegral (and the attached series), then re-pins settledAt.
+// Safe because allocate runs before time advances in every step: a stale
+// lastRate never spans an interval during which it was not the true rate.
+func (e *Engine) settleResource(r *Resource) {
+	if dt := e.now - r.settledAt; dt > 0 {
+		if r.lastRate > 0 {
+			r.busyIntegral += r.lastRate * dt
+			if r.series != nil {
+				r.series.Accumulate(r.settledAt, e.now, r.lastRate)
 			}
 		}
+		r.settledAt = e.now
 	}
 }
 
-// completeFinished removes flows whose remaining work reached zero and runs
-// their completion callbacks in deterministic (submission) order. The
-// completion threshold is relative to the flow size and to the time left at
-// the current rate: a flow within a nanosecond of completion is complete.
-// This keeps the event loop from stalling when the residual time drops
-// below the floating-point resolution of the clock.
-func (e *Engine) completeFinished() {
-	finished := e.finScratch[:0]
-	kept := e.active[:0]
-	for _, f := range e.active {
-		eps := 1e-12 + 1e-12*f.size + 1e-9*f.rate
-		if f.remaining <= eps {
-			f.remaining = 0
-			finished = append(finished, f)
-		} else {
-			kept = append(kept, f)
-		}
+// settleAll settles every registered resource through e.now. Called once
+// at Run exit (and harmless to repeat): the only place accounting cost is
+// O(cluster) instead of O(affected).
+func (e *Engine) settleAll() {
+	for _, r := range e.resources {
+		e.settleResource(r)
 	}
-	e.active = kept
-	for _, f := range finished {
+}
+
+// completeFinished pops every flow whose predicted completion falls within
+// the clock slack of the current time and runs their completion callbacks
+// in deterministic (doneAt, submission) order — exactly the heap's key
+// order. The forgiven residual is rate × slack, a clock-relative quantity;
+// see clockSlack for why no size- or rate-proportional term appears.
+func (e *Engine) completeFinished() {
+	if len(e.cheap) == 0 {
+		return
+	}
+	slack := clockSlack(e.now)
+	if e.cheap[0].doneAt > e.now+slack {
+		return
+	}
+	finished := e.finScratch[:0]
+	for len(e.cheap) > 0 && e.cheap[0].doneAt <= e.now+slack {
+		f := e.heapPop()
+		e.settleFlow(f)
+		f.remaining = 0
+		f.rate = 0
+		// O(1) removal from the unordered active set.
+		last := len(e.active) - 1
+		moved := e.active[last]
+		e.active[f.actIdx] = moved
+		moved.actIdx = f.actIdx
+		e.active[last] = nil
+		e.active = e.active[:last]
 		for _, r := range f.path {
 			r.dropFlow(f)
 		}
 		e.dirty = append(e.dirty, f.path...)
+		finished = append(finished, f)
 	}
 	for _, f := range finished {
 		e.stats.FlowsCompleted++
@@ -378,8 +508,9 @@ func (e *Engine) completeFinished() {
 
 // dropFlow removes one occurrence of f from the resource's active-flow
 // list (a path may cross the same resource more than once, so exactly one
-// entry is removed per call). Order is not preserved: the allocator derives
-// its scan order from Engine.active, never from r.flows.
+// entry is removed per call). Order is not preserved: the allocator sorts
+// each affected component by submission sequence before scanning, never
+// relying on r.flows order.
 func (r *Resource) dropFlow(f *Flow) {
 	for i, g := range r.flows {
 		if g == f {
@@ -392,12 +523,99 @@ func (r *Resource) dropFlow(f *Flow) {
 	}
 }
 
-// fireTimers runs all timers scheduled at or before the current time.
+// fireTimers runs all timers scheduled at or before the current time. The
+// tolerance is the clock-relative slack: same-instant timers computed via
+// different roundings fire in the same step at any clock magnitude.
 func (e *Engine) fireTimers() {
-	for e.timers.Len() > 0 && e.timers.peek().at <= e.now+1e-12 {
+	if e.timers.Len() == 0 {
+		return
+	}
+	slack := clockSlack(e.now)
+	for e.timers.Len() > 0 && e.timers.peek().at <= e.now+slack {
 		t := e.timers.pop()
 		e.stats.TimersFired++
 		t.fn(e.now)
+	}
+}
+
+// --- completion-time min-heap -----------------------------------------
+
+// cheapLess orders the completion heap by (doneAt, submission seq). Both
+// keys are mode-independent, so although the heap's array layout depends
+// on re-key order, the pop sequence — the only thing the event loop
+// observes — is the unique sorted order.
+func cheapLess(a, b *Flow) bool {
+	if a.doneAt != b.doneAt {
+		return a.doneAt < b.doneAt
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(f *Flow) {
+	f.heapIdx = len(e.cheap)
+	e.cheap = append(e.cheap, f)
+	e.heapUp(f.heapIdx)
+}
+
+func (e *Engine) heapPop() *Flow {
+	top := e.cheap[0]
+	n := len(e.cheap) - 1
+	e.cheap[0] = e.cheap[n]
+	e.cheap[0].heapIdx = 0
+	e.cheap[n] = nil
+	e.cheap = e.cheap[:n]
+	if n > 0 {
+		e.heapDown(0)
+	}
+	top.heapIdx = -1
+	return top
+}
+
+// heapFix restores the heap invariant after f.doneAt changed in place.
+func (e *Engine) heapFix(f *Flow) {
+	i := f.heapIdx
+	if i < 0 {
+		return
+	}
+	if !e.heapUp(i) {
+		e.heapDown(i)
+	}
+}
+
+func (e *Engine) heapUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cheapLess(e.cheap[i], e.cheap[parent]) {
+			break
+		}
+		e.cheap[i], e.cheap[parent] = e.cheap[parent], e.cheap[i]
+		e.cheap[i].heapIdx = i
+		e.cheap[parent].heapIdx = parent
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (e *Engine) heapDown(i int) {
+	n := len(e.cheap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && cheapLess(e.cheap[l], e.cheap[smallest]) {
+			smallest = l
+		}
+		if r < n && cheapLess(e.cheap[r], e.cheap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.cheap[i], e.cheap[smallest] = e.cheap[smallest], e.cheap[i]
+		e.cheap[i].heapIdx = i
+		e.cheap[smallest].heapIdx = smallest
+		i = smallest
 	}
 }
 

@@ -457,6 +457,75 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocManyComponents is the large-topology sharding benchmark:
+// 128 disjoint components of 16 flows over 4 resources each (2048 flows
+// total), with every component dirtied on every recompute — the worst
+// case for a serial waterfill and the best case for the component-sharded
+// worker pool. "serial" runs the incremental allocator, "parallel" the
+// same waterfill sharded over the pool; the bench harness gates their
+// ratio (parallel must win by the floor on multi-core machines).
+func BenchmarkAllocManyComponents(b *testing.B) {
+	modes := []struct {
+		name string
+		mode AllocMode
+	}{
+		{"serial", AllocIncremental},
+		{"parallel", AllocParallel},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			const comps = 128
+			const flowsPer = 16
+			e := NewEngine()
+			e.SetAllocMode(m.mode)
+			seeds := make([]*Resource, comps)
+			for c := 0; c < comps; c++ {
+				res := make([]*Resource, 4)
+				for j := range res {
+					res[j] = NewResource("r", 100+float64(c%13))
+				}
+				seeds[c] = res[0]
+				for f := 0; f < flowsPer; f++ {
+					e.Submit("f", 1e18, []*Resource{res[f%4], res[(f+1)%4]}, nil)
+				}
+			}
+			e.allocate() // warm scratch buffers and the worker pool path
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.dirty = append(e.dirty, seeds...)
+				e.allocate()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineTimerSteps pins the indexed event core: with a large
+// active flow set whose completion keys never move, a timer-only step is
+// a heap peek plus a timer pop/push and must not allocate or touch the
+// O(active) flow set at all.
+func BenchmarkEngineTimerSteps(b *testing.B) {
+	e := NewEngine()
+	resources := make([]*Resource, 8)
+	for i := range resources {
+		resources[i] = NewResource("r", 100)
+	}
+	for i := 0; i < 64; i++ {
+		e.Submit("f", 1e18, []*Resource{resources[i%8], resources[(i+1)%8]}, nil)
+	}
+	var tick func(now float64)
+	tick = func(now float64) { e.After(1, tick) }
+	e.After(1, tick)
+	horizon := 10.0
+	e.Run(horizon) // warm buffers, run the initial waterfill
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		horizon++
+		e.Run(horizon)
+	}
+}
+
 // BenchmarkEngineLargeScenario is the acceptance benchmark: a sustained
 // 64-concurrent-flow load over 16 resources (8 worker NICs x 8 PS NICs,
 // the ddnnsim transfer topology), with every completion respawning a flow

@@ -1,0 +1,83 @@
+package flow
+
+// Parallel component-sharded waterfilling (AllocParallel).
+//
+// The dirty-set BFS (expandDirty) carves the affected flows and resources
+// into connected components that are disjoint by construction: no flow or
+// resource appears in two spans, and a waterfill reads and writes only its
+// own component plus the read-only e.now and capacities. The components
+// can therefore run on any goroutines in any order and produce exactly the
+// bits the serial loop produces — the reduce discipline is "writes are
+// disjoint", with results landing directly in place.
+//
+// Determinism does not rest on scheduling: the comparator total order in
+// waterfill fixes each component's freeze sequence independently of every
+// other component (see alloc.go), settlement arithmetic is per-flow /
+// per-resource, and the completion-heap re-key runs afterwards on the
+// event-loop goroutine (heap surgery is not thread-safe) with keys that
+// are pure functions of component-local state. AllocVerify remains the
+// oracle: it cross-checks against the full reference recompute bit for
+// bit, and the differential harness runs all three allocators under -race.
+//
+// Work distribution is an atomic take-a-number over the component list —
+// components vary wildly in size (one giant BSP fabric next to dozens of
+// two-resource stragglers), so static striping would idle workers behind
+// the giant. Workers are spawned per recompute: a persistent pool would
+// outlive the Engine (which has no Close), and the spawn cost is ~µs
+// against waterfills worth running in parallel.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxDefaultWorkers caps the default pool: beyond 8 workers the atomic
+// take-a-number and spawn overhead outweigh the gain for typical component
+// counts. SetParallelism overrides in either direction.
+const maxDefaultWorkers = 8
+
+// parWorkers resolves the worker-pool size for this engine.
+func (e *Engine) parWorkers() int {
+	if e.par > 0 {
+		return e.par
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultWorkers {
+		n = maxDefaultWorkers
+	}
+	return n
+}
+
+// waterfillParallel settles and waterfills the affected components on a
+// bounded worker pool. With fewer than two components (or a pool of one)
+// it falls back to the serial loop — same bits either way.
+func (e *Engine) waterfillParallel() {
+	nw := e.parWorkers()
+	if nw > len(e.comps) {
+		nw = len(e.comps)
+	}
+	if nw <= 1 {
+		e.waterfillSerial()
+		return
+	}
+	e.ensureScratch(nw)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := e.wfScratch[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.comps) {
+					break
+				}
+				buf = e.runComp(e.comps[i], buf)
+			}
+			e.wfScratch[w] = buf
+		}(w)
+	}
+	wg.Wait()
+}

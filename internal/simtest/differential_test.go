@@ -1,17 +1,21 @@
 package simtest
 
 // Differential allocator tests: the incremental max-min allocator
-// (flow.AllocIncremental, the engine default) must be indistinguishable —
-// bit for bit, via reflect.DeepEqual over full Results — from the kept
-// pre-incremental full recompute (flow.AllocReference) across generated
-// workloads and clusters, including fault-interrupted runs. A verify-mode
-// pass re-checks every single recompute inside the engine, and the golden
-// corpus replay asserts the Resource.Utilization clamp counter stays zero
-// (no hidden accounting drift anywhere in the 11 scenarios).
+// (flow.AllocIncremental, the engine default) and the parallel
+// component-sharded allocator (flow.AllocParallel) must be
+// indistinguishable — bit for bit, via reflect.DeepEqual over full
+// Results — from the kept pre-incremental full recompute
+// (flow.AllocReference) across generated workloads and clusters,
+// including fault-interrupted runs. A verify-mode pass re-checks every
+// single recompute inside the engine, the golden corpus replays
+// byte-identically under AllocParallel, and a clamp-counter replay
+// asserts the Resource.Utilization clamp counter stays zero (no hidden
+// accounting drift anywhere in the corpus).
 
 import (
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"cynthia/internal/ddnnsim"
@@ -47,6 +51,16 @@ func TestDifferentialAllocatorOnGeneratedSims(t *testing.T) {
 		if !reflect.DeepEqual(ref, inc) {
 			t.Errorf("seed %d: incremental result diverged from reference\nreference:   %+v\nincremental: %+v", seed, ref, inc)
 		}
+		parOpt := opt
+		parOpt.AllocMode = flow.AllocParallel
+		parOpt.AllocWorkers = 4 // real pool even on a single-CPU host
+		par, err := ddnnsim.Run(w, spec, parOpt)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(ref, par) {
+			t.Errorf("seed %d: parallel result diverged from reference\nreference: %+v\nparallel:  %+v", seed, ref, par)
+		}
 
 		// Interrupted segment: the allocators must also agree mid-run, at
 		// an instant that is not a flow-set quiescence point.
@@ -65,6 +79,55 @@ func TestDifferentialAllocatorOnGeneratedSims(t *testing.T) {
 		if !reflect.DeepEqual(rref, rinc) {
 			t.Errorf("seed %d: interrupted incremental result diverged from reference", seed)
 		}
+		fpar := parOpt
+		fpar.Faults = fref.Faults
+		rpar, err := ddnnsim.Run(w, spec, fpar)
+		if err != nil {
+			t.Fatalf("seed %d fault parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(rref, rpar) {
+			t.Errorf("seed %d: interrupted parallel result diverged from reference", seed)
+		}
+	}
+}
+
+// TestGoldenCorpusParallelAllocator replays every golden scenario with the
+// package-default allocator switched to AllocParallel (the controller
+// pipeline constructs its engines in AllocDefault mode) and requires the
+// stored expectations to match byte for byte: the sharded allocator must
+// be a drop-in replacement all the way up through planner -> controller ->
+// ddnnsim, not just at the flow-engine boundary. GOMAXPROCS is raised so
+// a real worker pool runs even on a single-CPU host.
+func TestGoldenCorpusParallelAllocator(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	prevMode := flow.SetDefaultAllocMode(flow.AllocParallel)
+	defer flow.SetDefaultAllocMode(prevMode)
+
+	paths, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden scenarios found")
+	}
+	for _, path := range paths {
+		s, err := LoadScenario(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(s.Name, func(t *testing.T) {
+			out, err := RunScenario(s)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if s.Expect == nil {
+				t.Fatalf("%s has no expectation; generate one with -update", path)
+			}
+			if !reflect.DeepEqual(out, s.Expect) {
+				t.Errorf("parallel-allocator outcome diverged from golden file\n got: %+v\nwant: %+v", out, s.Expect)
+			}
+		})
 	}
 }
 
